@@ -1,0 +1,69 @@
+(* E4-E5: the Algorithm 3 decomposition on bounded-arboricity graphs.
+
+   E4 (Lemma 13): all nodes marked within ceil(10 log_{k/a} n) + 1
+                  iterations with b = 2a.
+   E5 (Lemma 14 & structure): the typical edges induce a graph of degree
+                  at most k; every node has at most 2a atypical edges;
+                  every F_{i,j} component is a star. *)
+
+module Gen = Tl_graph.Gen
+module Graph = Tl_graph.Graph
+module AD = Tl_decompose.Arb_decompose
+
+let instances n seed =
+  [
+    ("tree", Gen.random_tree ~n ~seed, 1);
+    ("union-a2", Gen.forest_union ~n ~arboricity:2 ~seed, 2);
+    ("union-a4", Gen.forest_union ~n ~arboricity:4 ~seed, 4);
+    (* preferential-attachment unions have high-degree hubs, the regime in
+       which Algorithm 3 actually produces atypical edges *)
+    ("hubs-a2", Gen.power_law_union ~n ~arboricity:2 ~seed, 2);
+    ("hubs-a4", Gen.power_law_union ~n ~arboricity:4 ~seed, 4);
+    ( "planar",
+      (let side = int_of_float (Float.sqrt (float_of_int n)) in
+       Gen.triangulated_grid (max 2 side)),
+      3 );
+  ]
+
+let run () =
+  Util.heading "E4-E5: Algorithm 3 decomposition certificates (Lemmas 13-14)";
+  let rows = ref [] in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun (family, g, a) ->
+          List.iter
+            (fun k_factor ->
+              let k = 5 * a * k_factor in
+              let real_n = Graph.n_nodes g in
+              let ids = Util.ids_for g 2000 in
+              let d = AD.run g ~a ~k ~ids in
+              rows :=
+                [
+                  Util.i real_n;
+                  family;
+                  Util.i a;
+                  Util.i k;
+                  Util.i (AD.iterations d);
+                  Util.i (AD.lemma13_bound d);
+                  Util.pass_fail (AD.check_lemma13 d);
+                  Util.i (AD.typical_max_degree d);
+                  Util.pass_fail (AD.check_lemma14 d);
+                  Util.i (AD.max_atypical_per_node d);
+                  Util.i (AD.b d);
+                  Util.pass_fail (AD.check_atypical_bound d);
+                  Util.pass_fail (AD.check_forests d && AD.check_stars d);
+                  Util.i (AD.max_out_degree d);
+                  Util.pass_fail (AD.check_acyclic_orientation d);
+                ]
+                :: !rows)
+            [ 1; 4 ])
+        (instances n 11))
+    [ 100; 1_000; 10_000; 50_000 ];
+  Util.table
+    ~header:
+      [
+        "n"; "family"; "a"; "k"; "iters"; "L13 bound"; "L13"; "maxdeg(E2)";
+        "L14"; "max atyp"; "b=2a"; "atyp<=b"; "stars"; "outdeg"; "acyclic<=k";
+      ]
+    (List.rev !rows)

@@ -1,0 +1,94 @@
+(* E11: the "concrete implications" table of Section 1.1.
+
+   For each truly local complexity f discussed in the paper, solve
+   g(n)^{f(g(n))} = n and report the transformed tree complexity f(g(n)),
+   next to the closed-form the paper states:
+
+     f(D) = D            =>  O(log n / log log n)   (MIS, matching)
+     f(D) = sqrt(D logD) =>  (best known (deg+1)-coloring, [MT20])
+     f(D) = 2^sqrt(logD) =>  O(log n / log^2 log n)
+     f(D) = log^5 D      =>  O(log^{5/6} n)
+     f(D) = log^12 D     =>  O(log^{12/13} n)       (Theorem 3)
+*)
+
+module Complexity = Tl_core.Complexity
+
+let named_fs =
+  [
+    ("Delta", Complexity.f_linear, fun l -> l /. (Float.log l /. Float.log 2.));
+    ( "sqrt(Delta logDelta)",
+      Complexity.f_sqrt_log,
+      fun l ->
+        (* f(g) ~ sqrt(g log g); g log g... no tidy closed form: report the
+           solver value itself as reference *)
+        Complexity.theorem1_rounds_log ~f:Complexity.f_sqrt_log ~log2_n:l );
+    ( "2^sqrt(logDelta)",
+      Complexity.f_exp_sqrt_log,
+      fun l ->
+        let ll = Float.log l /. Float.log 2. in
+        l /. (ll *. ll) );
+    ( "log^5 Delta",
+      Complexity.f_polylog ~exponent:5.0,
+      fun l -> Float.pow l (5. /. 6.) );
+    ( "log^12 Delta",
+      Complexity.f_polylog ~exponent:12.0,
+      fun l -> Float.pow l (12. /. 13.) );
+  ]
+
+let run () =
+  Util.heading "E11: the g(n) solver and Section 1.1's concrete implications";
+  List.iter
+    (fun (name, f, closed) ->
+      Util.subheading (Printf.sprintf "f(Delta) = %s" name);
+      let rows = ref [] in
+      List.iter
+        (fun log2_n ->
+          let g = Complexity.solve_g_log ~f ~log2_n in
+          let transformed = f g in
+          let reference = closed log2_n in
+          rows :=
+            [
+              Printf.sprintf "2^%g" log2_n;
+              Printf.sprintf "%.4g" g;
+              Printf.sprintf "%.4g" transformed;
+              Printf.sprintf "%.4g" reference;
+              Util.f2 (transformed /. reference);
+            ]
+            :: !rows)
+        [ 10.; 20.; 40.; 80.; 160.; 320.; 1000.; 10000. ];
+      Util.table
+        ~header:[ "n"; "g(n)"; "f(g(n)) [transformed]"; "paper closed form"; "ratio" ]
+        (List.rev !rows))
+    named_fs;
+  Printf.printf
+    "\n  The transformed complexity tracks the paper's closed form for each\n\
+    \  f (ratios converge to a constant), mechanizing the Section 1.1 table.\n";
+  (* the tightness discussion: a truly local lower bound Omega(h(Delta))
+     on balanced regular trees lifts mechanically to Omega(h(g(n))) —
+     with the same g as the upper-bound transformation, so matching truly
+     local bounds give matching tree bounds *)
+  Util.subheading
+    "tightness: lifted lower bound vs transformed upper bound (f = h = Delta, MIS)";
+  let rows =
+    List.map
+      (fun e ->
+        let n = 1 lsl e in
+        let lifted = Complexity.lift_lower_bound ~h:Complexity.f_linear ~n in
+        let upper = Complexity.theorem1_rounds ~f:Complexity.f_linear ~n in
+        [
+          Printf.sprintf "2^%d" e;
+          Printf.sprintf "%.3f" lifted;
+          Printf.sprintf "%.3f" upper;
+          Util.f2 (upper /. lifted);
+        ])
+      [ 10; 20; 30; 40; 50; 60 ]
+  in
+  Util.table
+    ~header:
+      [ "n"; "lifted LB h(g(n))"; "Thm 1 UB f(g(n)) + log*"; "UB/LB" ]
+    rows;
+  Printf.printf
+    "\n  With h = f (MIS and maximal matching have Theta(Delta) truly local\n\
+    \  complexity), the lifted lower bound and the transformed upper bound\n\
+    \  are the same function of n up to the additive log* term: the\n\
+    \  conditional-optimality argument of the paper's tightness discussion.\n"

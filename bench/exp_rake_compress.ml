@@ -1,0 +1,59 @@
+(* E1-E3: the rake-and-compress lemmas (Lemmas 9, 10, 11).
+
+   E1 (Lemma 9):  Algorithm 1 marks every node within ceil(log_k n) + 1
+                  iterations.
+   E2 (Lemma 10): the graph induced by edges with compressed lower
+                  endpoint has maximum degree at most k.
+   E3 (Lemma 11): every component of the raked subgraph has diameter at
+                  most 4 (log_k n + 1) + 2. *)
+
+module Gen = Tl_graph.Gen
+module RC = Tl_decompose.Rake_compress
+
+let run () =
+  Util.heading "E1-E3: rake-and-compress certificates (Lemmas 9-11)";
+  let rows = ref [] in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun (family, tree) ->
+          List.iter
+            (fun k ->
+              let ids = Util.ids_for tree 1000 in
+              let rc = RC.run tree ~k ~ids in
+              let iters = RC.iterations rc in
+              let ceil_log_k =
+                let rec go acc p = if p >= n then acc else go (acc + 1) (p * k) in
+                go 0 1
+              in
+              let e1_bound = ceil_log_k + 1 in
+              let deg = RC.compress_part_max_degree rc in
+              let diam =
+                List.fold_left max 0 (RC.rake_component_diameters rc)
+              in
+              let e3_bound = RC.lemma11_bound rc in
+              rows :=
+                [
+                  Util.i n;
+                  family;
+                  Util.i k;
+                  Util.i iters;
+                  Util.i e1_bound;
+                  Util.pass_fail (iters <= e1_bound);
+                  Util.i deg;
+                  Util.pass_fail (deg <= k);
+                  Util.i diam;
+                  Util.i e3_bound;
+                  Util.pass_fail (diam <= e3_bound);
+                ]
+                :: !rows)
+            [ 2; 4; 16 ])
+        (Util.tree_families n 7))
+    Util.n_sweep;
+  Util.table
+    ~header:
+      [
+        "n"; "family"; "k"; "iters"; "L9 bound"; "L9"; "maxdeg(E_C)"; "L10";
+        "rake diam"; "L11 bound"; "L11";
+      ]
+    (List.rev !rows)

@@ -1,0 +1,65 @@
+(* E9: the separation between the edge coloring problems and
+   MIS / maximal matching on trees.
+
+   MIS and maximal matching have a Omega(log n / log log n) lower bound on
+   trees [BBH+21, BBKO22a] that their upper bounds match; Theorem 3 puts
+   (edge-degree+1)- and (2Delta-1)-edge coloring strictly below that
+   barrier. We report: measured rounds of our transformed algorithms for
+   both problem groups (same executable substrate, so directly
+   comparable), together with the two analytic curves. *)
+
+module Gen = Tl_graph.Gen
+module Pipeline = Tl_core.Pipeline
+module Complexity = Tl_core.Complexity
+
+let run () =
+  Util.heading "E9: separation — edge coloring vs MIS/matching on trees";
+  let rows = ref [] in
+  List.iter
+    (fun n ->
+      let tree = Gen.random_tree ~n ~seed:37 in
+      let ids = Util.ids_for tree 41 in
+      let mis = Pipeline.mis_on_tree ~tree ~ids () in
+      let matching = Pipeline.matching_on_graph ~graph:tree ~a:1 ~ids () in
+      let ec = Pipeline.edge_coloring_on_graph ~graph:tree ~a:1 ~ids () in
+      (* prior-art baseline: the [BE13]-style O(log n) forest-split
+         algorithm for the same edge coloring problem *)
+      let bl_labeling, bl_cost = Tl_core.Baseline.edge_coloring_on_tree ~tree ~ids in
+      let bl_ok =
+        Tl_problems.Nec.is_valid Tl_problems.Edge_coloring.problem tree bl_labeling
+      in
+      let barrier = Complexity.mis_lower_bound ~n in
+      let thm3 = Complexity.theorem3_tree_rounds ~n in
+      rows :=
+        [
+          Util.i n;
+          Util.i mis.Pipeline.total_rounds;
+          Util.i matching.Pipeline.total_rounds;
+          Util.i ec.Pipeline.total_rounds;
+          Util.i (Tl_local.Round_cost.total bl_cost);
+          Util.f1 barrier;
+          Util.f1 thm3;
+          Util.pass_fail
+            (mis.Pipeline.valid && matching.Pipeline.valid && ec.Pipeline.valid
+           && bl_ok);
+        ]
+        :: !rows)
+    Util.n_sweep;
+  Util.table
+    ~header:
+      [
+        "n"; "MIS rounds"; "matching rounds"; "edge-col rounds";
+        "BE13-style baseline"; "barrier curve"; "Thm3 curve"; "valid";
+      ]
+    (List.rev !rows);
+  Printf.printf
+    "\n  MIS/matching rounds are tied to the Omega(log n / log log n)\n\
+    \  barrier (they are asymptotically optimal on trees); the edge\n\
+    \  coloring pipeline's rounds are governed by f(g(n)) for its own f,\n\
+    \  and by Theorem 3 they drop strictly below the barrier\n\
+    \  asymptotically (see experiment E8(b) for the asymptotic curves).\n\
+    \  Note the honest constant-factor picture: at practical sizes the\n\
+    \  simple O(log n) prior-art baseline is the fastest in absolute\n\
+    \  rounds — the paper's contribution is the asymptotic exponent, and\n\
+    \  the crossover for the literature's f = log^12 sits far beyond\n\
+    \  physical input sizes (E8(b)).\n"

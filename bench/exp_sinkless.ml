@@ -1,0 +1,42 @@
+(* E14: sinkless orientation on trees in Theta(log n) rounds.
+
+   The paper's introduction cites sinkless orientation as one of only two
+   natural problems with known nontrivial tight bounds: Theta(log n)
+   deterministic [GS17, CKP19], the lower bound being the round
+   elimination fixed point of experiment E13. The upper bound here is the
+   rake-and-compress (k = 2) orientation of Tl_core.Sinkless: measured
+   rounds must scale with log2 n (3 rounds per decomposition iteration
+   plus one orientation round). *)
+
+module Gen = Tl_graph.Gen
+module Graph = Tl_graph.Graph
+module Pipeline = Tl_core.Pipeline
+
+let run () =
+  Util.heading "E14: sinkless orientation on trees (the Theta(log n) problem)";
+  let rows = ref [] in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun (family, tree) ->
+          let ids = Util.ids_for tree 83 in
+          let r = Pipeline.sinkless_orientation_on_tree ~tree ~ids () in
+          let log2n = Float.log (float_of_int n) /. Float.log 2.0 in
+          rows :=
+            [
+              Util.i n;
+              family;
+              Util.i r.Pipeline.total_rounds;
+              Util.f1 log2n;
+              Util.f2 (float_of_int r.Pipeline.total_rounds /. log2n);
+              Util.pass_fail r.Pipeline.valid;
+            ]
+            :: !rows)
+        (Util.tree_families n 89))
+    Util.n_sweep;
+  Util.table
+    ~header:[ "n"; "family"; "rounds"; "log2 n"; "rounds/log2 n"; "valid" ]
+    (List.rev !rows);
+  Printf.printf
+    "\n  rounds/log2 n stays bounded: the Theta(log n) upper bound, matched\n\
+    \  by the round-elimination fixed point lower bound of E13.\n"

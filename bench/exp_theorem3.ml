@@ -1,0 +1,76 @@
+(* E8: Theorem 3 — O(log^{12/13} n) (edge-degree+1)-edge coloring on
+   trees.
+
+   Part (a), measured: the executable Theorem 15 pipeline on trees (a=1),
+   validated, with the decomposition depth O(log_{k} n) it actually used.
+
+   Part (b), analytic: the paper's bound comes from plugging the BBKO22b
+   truly local complexity f(D) = log^12 D into the transformation. The
+   resulting curve log^{12/13} n and the MIS/matching barrier
+   log n / log log n are evaluated from L = log2 n — including the
+   asymptotic regime where the separation shows, since the crossover sits
+   at L ~ e^52 (far beyond physical inputs; the paper's claim is
+   asymptotic). *)
+
+module Gen = Tl_graph.Gen
+module Pipeline = Tl_core.Pipeline
+module Complexity = Tl_core.Complexity
+module Round_cost = Tl_local.Round_cost
+
+let run () =
+  Util.heading "E8: Theorem 3 — strongly sublogarithmic edge coloring";
+  Util.subheading "(a) measured: Theorem 15 pipeline on trees (a = 1)";
+  let rows = ref [] in
+  List.iter
+    (fun n ->
+      let tree = Gen.random_tree ~n ~seed:29 in
+      let ids = Util.ids_for tree 31 in
+      let r = Pipeline.edge_coloring_on_graph ~graph:tree ~a:1 ~ids () in
+      let decompose = Round_cost.get r.Pipeline.cost "decompose" in
+      rows :=
+        [
+          Util.i n;
+          Util.i r.Pipeline.k;
+          Util.i r.Pipeline.total_rounds;
+          Util.i decompose;
+          Util.pass_fail r.Pipeline.valid;
+        ]
+        :: !rows)
+    Util.n_sweep;
+  Util.table
+    ~header:[ "n"; "k"; "total rounds"; "decompose rounds"; "valid" ]
+    (List.rev !rows);
+
+  Util.subheading
+    "(b) analytic: f = log^12 through the transformation (Theorem 3 curve)";
+  let f12 = Complexity.f_polylog ~exponent:12.0 in
+  let rows = ref [] in
+  List.iter
+    (fun log2_n ->
+      let ub = Complexity.theorem1_rounds_log ~f:f12 ~log2_n in
+      let lb = Complexity.mis_lower_bound_log ~log2_n in
+      rows :=
+        [
+          Printf.sprintf "2^%.0e" log2_n;
+          Printf.sprintf "%.3e" ub;
+          Printf.sprintf "%.3e" lb;
+          Util.f2 (ub /. lb);
+        ]
+        :: !rows)
+    [ 20.; 60.; 1e3; 1e6; 1e12; 1e20; 1e23; 1e26; 1e30 ];
+  Util.table
+    ~header:
+      [ "n"; "log^{12/13} n (Thm 3)"; "log n/loglog n (MIS barrier)"; "ratio" ]
+    (List.rev !rows);
+  Printf.printf
+    "\n  The ratio grows until log2 n ~ e^52 ~ 1e22.6 and then falls:\n\
+    \  Theorem 3's upper bound drops below the MIS/matching barrier only\n\
+    \  asymptotically, which is exactly the paper's (asymptotic) claim of\n\
+    \  a separation on trees.\n";
+  (* exponent self-test: the curve really is Theta(L^{12/13}) *)
+  let v1 = Complexity.theorem1_rounds_log ~f:f12 ~log2_n:1e8 in
+  let v2 = Complexity.theorem1_rounds_log ~f:f12 ~log2_n:2e8 in
+  Printf.printf
+    "  empirical exponent from doubling L at 1e8: %.4f (12/13 = %.4f)\n"
+    (Float.log (v2 /. v1) /. Float.log 2.0)
+    (12.0 /. 13.0)

@@ -1,0 +1,75 @@
+(* B1-B5: wall-clock microbenchmarks of the computational kernels
+   (Bechamel). The paper's metric is LOCAL rounds (covered by E1-E12);
+   these benchmarks track the simulator's own throughput so regressions
+   in the implementation are visible. *)
+
+open Bechamel
+open Toolkit
+
+module Gen = Tl_graph.Gen
+module Semi_graph = Tl_graph.Semi_graph
+module Ids = Tl_local.Ids
+module Labeling = Tl_problems.Labeling
+
+let n = 10_000
+
+let tree = lazy (Gen.random_tree ~n ~seed:71)
+let union = lazy (Gen.forest_union ~n ~arboricity:2 ~seed:73)
+let ids = lazy (Ids.permuted ~n ~seed:79)
+
+let b1_rake_compress () =
+  let tree = Lazy.force tree and ids = Lazy.force ids in
+  ignore (Tl_decompose.Rake_compress.run tree ~k:4 ~ids)
+
+let b2_arb_decompose () =
+  let g = Lazy.force union and ids = Lazy.force ids in
+  ignore (Tl_decompose.Arb_decompose.run g ~a:2 ~k:10 ~ids)
+
+let b3_cv_coloring () =
+  let tree = Lazy.force tree and ids = Lazy.force ids in
+  let parent = Tl_graph.Tree.parents_forest tree in
+  ignore
+    (Tl_symmetry.Cole_vishkin.color3 ~nodes:(List.init n Fun.id) ~parent ~ids)
+
+let b4_base_coloring () =
+  let tree = Lazy.force tree and ids = Lazy.force ids in
+  let sg = Semi_graph.of_graph tree in
+  let labeling = Labeling.create tree in
+  ignore (Tl_symmetry.Algos.deg_plus_one_coloring sg ~ids labeling)
+
+let b5_theorem1_mis () =
+  let tree = Lazy.force tree and ids = Lazy.force ids in
+  ignore (Tl_core.Pipeline.mis_on_tree ~tree ~ids ())
+
+let tests =
+  Test.make_grouped ~name:"kernels"
+    [
+      Test.make ~name:"B1 rake-and-compress 10k" (Staged.stage b1_rake_compress);
+      Test.make ~name:"B2 algorithm-3 10k a=2" (Staged.stage b2_arb_decompose);
+      Test.make ~name:"B3 CV 3-coloring 10k" (Staged.stage b3_cv_coloring);
+      Test.make ~name:"B4 base (deg+1)-coloring 10k" (Staged.stage b4_base_coloring);
+      Test.make ~name:"B5 theorem-1 MIS pipeline 10k" (Staged.stage b5_theorem1_mis);
+    ]
+
+let run () =
+  Util.heading "B1-B5: kernel wall-clock microbenchmarks (Bechamel)";
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name est ->
+      let ns =
+        match Analyze.OLS.estimates est with
+        | Some [ t ] -> t
+        | _ -> Float.nan
+      in
+      rows := [ name; Printf.sprintf "%.3f ms" (ns /. 1e6) ] :: !rows)
+    results;
+  Util.table ~header:[ "kernel"; "time/run" ]
+    (List.sort compare !rows)

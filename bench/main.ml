@@ -1,0 +1,63 @@
+(* Experiment harness: regenerates every quantitative claim of the paper
+   (see DESIGN.md section 5 for the per-experiment index and
+   EXPERIMENTS.md for paper-vs-measured outcomes).
+
+   Usage:
+     dune exec bench/main.exe                  # run everything
+     dune exec bench/main.exe -- E6 E8         # run selected experiments
+     dune exec bench/main.exe -- --list        # list experiment ids
+     dune exec bench/main.exe -- --csv out/    # also write each table as CSV
+*)
+
+let experiments =
+  [
+    ("E1-E3", "rake-and-compress certificates (Lemmas 9-11)", Exp_rake_compress.run);
+    ("E4-E5", "Algorithm 3 certificates (Lemmas 13-14, stars)", Exp_arb_decompose.run);
+    ("E6", "Theorem 12 end-to-end on trees", Exp_theorem1.run);
+    ("E7", "Theorem 15 end-to-end on bounded arboricity", Exp_theorem2.run);
+    ("E8", "Theorem 3: strongly sublogarithmic edge coloring", Exp_theorem3.run);
+    ("E9", "separation: edge coloring vs MIS/matching", Exp_separation.run);
+    ("E10", "maximal matching on trees ([BE13] shape)", Exp_matching_tree.run);
+    ("E11", "g(n) solver and Section 1.1 implications", Exp_g_table.run);
+    ("E12", "arboricity sweep (Theorem 3, second part)", Exp_arboricity_sweep.run);
+    ("E13", "round elimination fixed points and growth", Exp_roundelim.run);
+    ("E14", "sinkless orientation in Theta(log n)", Exp_sinkless.run);
+    ("A", "ablations: k, rho, b, ID schemes", Exp_ablation.run);
+    ("B", "kernel wall-clock microbenchmarks", Kernel_bench.run);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let args =
+    (* --csv DIR: mirror every table to CSV artifacts under DIR *)
+    let rec strip acc = function
+      | "--csv" :: dir :: rest ->
+        Util.csv_dir := Some dir;
+        strip acc rest
+      | x :: rest -> strip (x :: acc) rest
+      | [] -> List.rev acc
+    in
+    strip [] args
+  in
+  match args with
+  | [ "--list" ] ->
+    List.iter (fun (id, desc, _) -> Printf.printf "%-6s %s\n" id desc) experiments
+  | [] ->
+    Printf.printf
+      "tree-local experiment harness — reproducing 'Towards Optimal\n\
+       Deterministic LOCAL Algorithms on Trees' (PODC 2025)\n";
+    List.iter (fun (_, _, run) -> run ()) experiments
+  | selected ->
+    List.iter
+      (fun want ->
+        match
+          List.find_opt
+            (fun (id, _, _) ->
+              id = want || String.lowercase_ascii id = String.lowercase_ascii want)
+            experiments
+        with
+        | Some (_, _, run) -> run ()
+        | None ->
+          Printf.eprintf "unknown experiment %s (try --list)\n" want;
+          exit 1)
+      selected

@@ -1,0 +1,113 @@
+(* Shared helpers for the experiment harness: aligned table printing
+   (optionally mirrored to CSV artifacts) and the standard instance
+   families. *)
+
+(* When set (via `bench/main.exe -- --csv DIR`), every printed table is
+   also written as a CSV file under DIR, numbered within the current
+   section — the raw series behind each "figure". *)
+let csv_dir : string option ref = ref None
+let section_slug = ref "preamble"
+let table_counter = ref 0
+
+let slugify title =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> Char.lowercase_ascii c
+      | _ -> '-')
+    title
+  |> fun s ->
+  (* compress runs of dashes and trim to something filename-sized *)
+  let b = Buffer.create (String.length s) in
+  let last_dash = ref false in
+  String.iter
+    (fun c ->
+      if c = '-' then begin
+        if not !last_dash then Buffer.add_char b '-';
+        last_dash := true
+      end
+      else begin
+        Buffer.add_char b c;
+        last_dash := false
+      end)
+    s;
+  let s = Buffer.contents b in
+  if String.length s > 48 then String.sub s 0 48 else s
+
+let heading title =
+  let bar = String.make (String.length title + 4) '=' in
+  Printf.printf "\n%s\n| %s |\n%s\n" bar title bar;
+  section_slug := slugify title;
+  table_counter := 0
+
+let subheading title = Printf.printf "\n--- %s ---\n" title
+
+let csv_escape cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let write_csv ~header rows =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    incr table_counter;
+    let path =
+      Filename.concat dir
+        (Printf.sprintf "%s-%d.csv" !section_slug !table_counter)
+    in
+    let oc = open_out path in
+    let emit row =
+      output_string oc (String.concat "," (List.map csv_escape row));
+      output_char oc '\n'
+    in
+    emit header;
+    List.iter emit rows;
+    close_out oc
+
+(* Print an aligned table: the column widths adapt to the contents. *)
+let table ~header rows =
+  write_csv ~header rows;
+  let all = header :: rows in
+  let cols = List.length header in
+  let width = Array.make cols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell ->
+          if i < cols && String.length cell > width.(i) then
+            width.(i) <- String.length cell)
+        row)
+    all;
+  let print_row row =
+    let cells =
+      List.mapi
+        (fun i cell -> Printf.sprintf "%-*s" width.(i) cell)
+        row
+    in
+    Printf.printf "  %s\n" (String.concat "  " cells)
+  in
+  print_row header;
+  print_row (List.init cols (fun i -> String.make width.(i) '-'));
+  List.iter print_row rows
+
+let f1 x = Printf.sprintf "%.1f" x
+let f2 x = Printf.sprintf "%.2f" x
+let i = string_of_int
+let b = string_of_bool
+
+let pass_fail ok = if ok then "PASS" else "FAIL"
+
+(* Standard n sweep for the measured experiments. *)
+let n_sweep = [ 100; 1_000; 10_000; 100_000 ]
+
+let tree_families n seed =
+  [
+    ("random", Tl_graph.Gen.random_tree ~n ~seed);
+    ("balanced-d8", Tl_graph.Gen.balanced_regular_tree ~delta:8 ~n);
+    ("path", Tl_graph.Gen.path n);
+  ]
+
+let ids_for g seed =
+  Tl_local.Ids.permuted ~n:(Tl_graph.Graph.n_nodes g) ~seed

@@ -1,0 +1,274 @@
+(* tree-local: command-line front end.
+
+   Subcommands:
+     generate   build an instance and print its statistics
+     solve      run a problem through the paper's transformation (or the
+                direct truly local baseline) and report rounds + validity
+     decompose  run rake-and-compress / Algorithm 3 and print certificates
+     predict    evaluate g(n) and the predicted round counts for a model f
+*)
+
+open Cmdliner
+
+module Gen = Tl_graph.Gen
+module Graph = Tl_graph.Graph
+module Props = Tl_graph.Props
+module Ids = Tl_local.Ids
+module Pipeline = Tl_core.Pipeline
+module Complexity = Tl_core.Complexity
+module Round_cost = Tl_local.Round_cost
+
+(* ---------- shared arguments ---------- *)
+
+let family_arg =
+  let doc =
+    "Instance family: random-tree, balanced-tree, path, star, caterpillar, \
+     power-law, forest-union, planar, grid."
+  in
+  Arg.(value & opt string "random-tree" & info [ "family" ] ~docv:"FAMILY" ~doc)
+
+let n_arg =
+  Arg.(value & opt int 1000 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of nodes.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let a_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "a"; "arboricity" ] ~docv:"A" ~doc:"Arboricity bound (forest-union, planar).")
+
+let delta_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "delta" ] ~docv:"D" ~doc:"Degree for balanced-tree.")
+
+let build_instance family n seed a delta =
+  match family with
+  | "random-tree" -> Gen.random_tree ~n ~seed
+  | "balanced-tree" -> Gen.balanced_regular_tree ~delta ~n
+  | "path" -> Gen.path n
+  | "star" -> Gen.star n
+  | "caterpillar" -> Gen.caterpillar ~spine:(max 1 (n / 4)) ~legs:3
+  | "power-law" -> Gen.power_law_tree ~n ~seed
+  | "forest-union" -> Gen.forest_union ~n ~arboricity:a ~seed
+  | "planar" ->
+    Gen.triangulated_grid (max 2 (int_of_float (Float.sqrt (float_of_int n))))
+  | "grid" ->
+    let side = max 1 (int_of_float (Float.sqrt (float_of_int n))) in
+    Gen.grid side side
+  | other -> failwith (Printf.sprintf "unknown family %s" other)
+
+(* ---------- generate ---------- *)
+
+let generate family n seed a delta =
+  let g = build_instance family n seed a delta in
+  let lo, hi = Props.arboricity_interval g in
+  Printf.printf "family:      %s\n" family;
+  Printf.printf "nodes:       %d\n" (Graph.n_nodes g);
+  Printf.printf "edges:       %d\n" (Graph.n_edges g);
+  Printf.printf "max degree:  %d\n" (Graph.max_degree g);
+  Printf.printf "max e-deg:   %d\n" (Props.max_edge_degree g);
+  Printf.printf "arboricity:  in [%d, %d]\n" lo hi;
+  Printf.printf "forest:      %b\n" (Props.is_forest g);
+  if Props.is_tree g then
+    Printf.printf "diameter:    %d\n" (Tl_graph.Tree.tree_diameter g)
+
+let generate_cmd =
+  let doc = "Build an instance and print its statistics." in
+  Cmd.v
+    (Cmd.info "generate" ~doc)
+    Term.(const generate $ family_arg $ n_arg $ seed_arg $ a_arg $ delta_arg)
+
+(* ---------- solve ---------- *)
+
+let problem_arg =
+  let doc = "Problem: mis, coloring, matching, edge-coloring." in
+  Arg.(value & opt string "mis" & info [ "problem" ] ~docv:"P" ~doc)
+
+let method_arg =
+  let doc = "Method: transform (the paper's pipeline), direct (run the \
+             truly local base algorithm on the whole graph), or baseline \
+             (the [BE13]-style O(log n) forest-split algorithm; matching \
+             and edge-coloring on trees only)."
+  in
+  Arg.(value & opt string "transform" & info [ "method" ] ~docv:"M" ~doc)
+
+let k_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "k"; "param-k" ] ~docv:"K" ~doc:"Decomposition parameter (default g(n)).")
+
+let report_raw name problem g labeling cost =
+  Printf.printf "problem:     %s\n" name;
+  Printf.printf "rounds:      %d\n" (Round_cost.total cost);
+  List.iter
+    (fun (phase, rounds) -> Printf.printf "  %-24s %6d\n" phase rounds)
+    (Round_cost.phases cost);
+  let valid = Tl_problems.Nec.is_valid problem g labeling in
+  Printf.printf "valid:       %b\n" valid;
+  if not valid then exit 1
+
+let report name (r : _ Pipeline.report) =
+  Printf.printf "problem:     %s\n" name;
+  Printf.printf "rounds:      %d\n" r.Pipeline.total_rounds;
+  List.iter
+    (fun (phase, rounds) -> Printf.printf "  %-24s %6d\n" phase rounds)
+    (Round_cost.phases r.Pipeline.cost);
+  if r.Pipeline.k > 0 then Printf.printf "k:           %d\n" r.Pipeline.k;
+  Printf.printf "valid:       %b\n" r.Pipeline.valid;
+  if not r.Pipeline.valid then begin
+    List.iteri
+      (fun i v ->
+        if i < 5 then
+          Format.printf "  violation: %a@." Tl_problems.Nec.pp_violation v)
+      r.Pipeline.violations;
+    exit 1
+  end
+
+let solve problem method_ family n seed a delta k =
+  let g = build_instance family n seed a delta in
+  let ids = Ids.permuted ~n:(Graph.n_nodes g) ~seed:(seed + 1) in
+  let must_tree name =
+    if not (Props.is_tree g) then
+      failwith (name ^ " via Theorem 12 needs a tree instance")
+  in
+  match (problem, method_) with
+  | "mis", "transform" ->
+    must_tree "mis";
+    report "MIS (Theorem 12)" (Pipeline.mis_on_tree ?k ~tree:g ~ids ())
+  | "coloring", "transform" ->
+    must_tree "coloring";
+    report "(deg+1)-coloring (Theorem 12)"
+      (Pipeline.coloring_on_tree ?k ~tree:g ~ids ())
+  | "matching", "transform" ->
+    report "maximal matching (Theorem 15)"
+      (Pipeline.matching_on_graph ?k ~graph:g ~a ~ids ())
+  | "edge-coloring", "transform" ->
+    report "(edge-degree+1)-edge coloring (Theorem 15)"
+      (Pipeline.edge_coloring_on_graph ?k ~graph:g ~a ~ids ())
+  | "mis", "direct" -> report "MIS (direct)" (Pipeline.mis_direct ~graph:g ~ids)
+  | "coloring", "direct" ->
+    report "(deg+1)-coloring (direct)" (Pipeline.coloring_direct ~graph:g ~ids)
+  | "matching", "direct" ->
+    report "maximal matching (direct)" (Pipeline.matching_direct ~graph:g ~ids)
+  | "edge-coloring", "direct" ->
+    report "(edge-degree+1)-edge coloring (direct)"
+      (Pipeline.edge_coloring_direct ~graph:g ~ids)
+  | "matching", "baseline" ->
+    must_tree "baseline matching";
+    let labeling, cost = Tl_core.Baseline.matching_on_tree ~tree:g ~ids in
+    report_raw "maximal matching (BE13-style baseline)"
+      Tl_problems.Matching.problem g labeling cost
+  | "edge-coloring", "baseline" ->
+    must_tree "baseline edge-coloring";
+    let labeling, cost = Tl_core.Baseline.edge_coloring_on_tree ~tree:g ~ids in
+    report_raw "(edge-degree+1)-edge coloring (BE13-style baseline)"
+      Tl_problems.Edge_coloring.problem g labeling cost
+  | p, m -> failwith (Printf.sprintf "unknown problem/method %s/%s" p m)
+
+let solve_cmd =
+  let doc = "Solve a problem with the paper's transformation." in
+  Cmd.v (Cmd.info "solve" ~doc)
+    Term.(
+      const solve $ problem_arg $ method_arg $ family_arg $ n_arg $ seed_arg
+      $ a_arg $ delta_arg $ k_arg)
+
+(* ---------- decompose ---------- *)
+
+let decompose which family n seed a delta k =
+  let g = build_instance family n seed a delta in
+  let real_n = Graph.n_nodes g in
+  let ids = Ids.permuted ~n:real_n ~seed:(seed + 1) in
+  match which with
+  | "rake-compress" ->
+    let k = Option.value k ~default:4 in
+    let rc = Tl_decompose.Rake_compress.run g ~k ~ids in
+    let module RC = Tl_decompose.Rake_compress in
+    Printf.printf "iterations:        %d (Lemma 9: %b)\n" (RC.iterations rc)
+      (RC.check_lemma9 rc);
+    Printf.printf "compressed nodes:  %d\n"
+      (List.length (RC.compressed_nodes rc));
+    Printf.printf "raked nodes:       %d\n" (List.length (RC.raked_nodes rc));
+    Printf.printf "maxdeg(E_C):       %d <= k = %d (Lemma 10: %b)\n"
+      (RC.compress_part_max_degree rc)
+      k (RC.check_lemma10 rc);
+    Printf.printf "max rake diameter: %d <= %d (Lemma 11: %b)\n"
+      (List.fold_left max 0 (RC.rake_component_diameters rc))
+      (RC.lemma11_bound rc) (RC.check_lemma11 rc)
+  | "arboricity" ->
+    let k = Option.value k ~default:(5 * a) in
+    let d = Tl_decompose.Arb_decompose.run g ~a ~k ~ids in
+    let module AD = Tl_decompose.Arb_decompose in
+    Printf.printf "iterations:      %d (Lemma 13: %b)\n" (AD.iterations d)
+      (AD.check_lemma13 d);
+    Printf.printf "typical edges:   %d (maxdeg %d <= k = %d, Lemma 14: %b)\n"
+      (List.length (AD.typical_edges d))
+      (AD.typical_max_degree d) k (AD.check_lemma14 d);
+    Printf.printf "atypical edges:  %d (max/node %d <= b = %d)\n"
+      (List.length (AD.atypical_edges d))
+      (AD.max_atypical_per_node d) (AD.b d);
+    Printf.printf "forest coloring: %d rounds; stars intact: %b\n"
+      (AD.cv_rounds d) (AD.check_stars d)
+  | other -> failwith (Printf.sprintf "unknown decomposition %s" other)
+
+let which_arg =
+  let doc = "Decomposition: rake-compress or arboricity." in
+  Arg.(value & opt string "rake-compress" & info [ "kind" ] ~docv:"KIND" ~doc)
+
+let decompose_cmd =
+  let doc = "Run a decomposition and print its certificates." in
+  Cmd.v (Cmd.info "decompose" ~doc)
+    Term.(
+      const decompose $ which_arg $ family_arg $ n_arg $ seed_arg $ a_arg
+      $ delta_arg $ k_arg)
+
+(* ---------- predict ---------- *)
+
+let f_of_name = function
+  | "linear" -> Complexity.f_linear
+  | "sqrt-log" -> Complexity.f_sqrt_log
+  | "exp-sqrt-log" -> Complexity.f_exp_sqrt_log
+  | "log12" -> Complexity.f_polylog ~exponent:12.0
+  | "log5" -> Complexity.f_polylog ~exponent:5.0
+  | "linial" -> Complexity.f_linial_reduction
+  | other -> failwith (Printf.sprintf "unknown f %s" other)
+
+let predict fname n a rho =
+  let f = f_of_name fname in
+  let g = Complexity.solve_g ~f ~n:(float_of_int n) in
+  Printf.printf "f:                   %s\n" fname;
+  Printf.printf "g(n):                %.3f\n" g;
+  Printf.printf "f(g(n)):             %.3f\n" (f g);
+  Printf.printf "Theorem 1 rounds:    %.1f\n"
+    (Complexity.theorem1_rounds ~f ~n);
+  Printf.printf "Theorem 2 rounds:    %.1f  (a = %d, rho = %d)\n"
+    (Complexity.theorem2_rounds ~f ~n ~a ~rho)
+    a rho;
+  Printf.printf "MIS barrier curve:   %.1f\n" (Complexity.mis_lower_bound ~n)
+
+let f_arg =
+  let doc =
+    "Model f: linear, sqrt-log, exp-sqrt-log, log5, log12, linial."
+  in
+  Arg.(value & opt string "linear" & info [ "f"; "model" ] ~docv:"F" ~doc)
+
+let rho_arg =
+  Arg.(value & opt int 2 & info [ "rho" ] ~docv:"R" ~doc:"Theorem 15's rho.")
+
+let predict_cmd =
+  let doc = "Evaluate g(n) and the predicted round counts." in
+  Cmd.v (Cmd.info "predict" ~doc)
+    Term.(const predict $ f_arg $ n_arg $ a_arg $ rho_arg)
+
+(* ---------- main ---------- *)
+
+let () =
+  let doc =
+    "Deterministic LOCAL algorithms on trees and bounded-arboricity graphs \
+     (PODC 2025 reproduction)."
+  in
+  let info = Cmd.info "tree-local" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ generate_cmd; solve_cmd; decompose_cmd; predict_cmd ]))

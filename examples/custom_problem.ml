@@ -1,0 +1,130 @@
+(* Bring your own problem: define a new node-edge-checkable problem and
+   push it through the paper's transformation.
+
+   Run with:  dune exec examples/custom_problem.exe
+
+   The problem: DOMINATING SET WITH POINTER CERTIFICATES — a set S of
+   nodes such that every node is in S or adjacent to S (like MIS, but
+   members of S may be adjacent). Encoding on half-edges:
+
+     M  = "I am in S"                       (written on all half-edges)
+     P  = "not in S; the node across this edge is my dominator"
+     O  = "not in S; dominated via some other edge"
+
+   Node constraint: all M, or exactly one P with the rest O.
+   Edge constraint: P must face M; everything else except a dangling P is
+   fine ({M,M} IS allowed — that is the difference from MIS).
+
+   This problem is in the paper's class P1: the greedy sequential solver
+   ("join S unless a neighbor already did; otherwise point at a joined
+   neighbor") completes any valid partial solution using 1-hop
+   information, which is exactly what Theorem 12 needs for the rake
+   components. The base truly local algorithm can simply be the MIS
+   algorithm: every valid MIS labeling is a valid labeling here (its
+   configurations are a subset). *)
+
+module Graph = Tl_graph.Graph
+module Gen = Tl_graph.Gen
+module Ids = Tl_local.Ids
+module Labeling = Tl_problems.Labeling
+module Nec = Tl_problems.Nec
+module Theorem1 = Tl_core.Theorem1
+
+type label = M | P | O
+
+let problem : label Nec.t =
+  {
+    Nec.name = "pointer-dominating-set";
+    equal_label = ( = );
+    pp_label =
+      (fun ppf l ->
+        Format.pp_print_string ppf (match l with M -> "M" | P -> "P" | O -> "O"));
+    node_ok =
+      (fun labels ->
+        let ms = List.length (List.filter (( = ) M) labels) in
+        let ps = List.length (List.filter (( = ) P) labels) in
+        if ms = List.length labels then true else ms = 0 && ps = 1);
+    edge_ok =
+      (function
+      | [] | [ M ] | [ O ] -> true
+      | [ P ] -> false
+      | [ a; b ] -> (
+        match (a, b) with
+        | P, M | M, P -> true
+        | P, _ | _, P -> false
+        | _ -> true (* M-M, M-O, O-O all fine: members may be adjacent *))
+      | _ -> false);
+  }
+
+(* The Π× completion for Theorem 12: greedy domination in any order. *)
+let solve_edge_list g labeling ~nodes =
+  List.iter
+    (fun v ->
+      let hs = Graph.half_edges_of g v in
+      let opposite_m h =
+        Labeling.get labeling (Graph.opposite_half_edge h) = Some M
+      in
+      if not (List.exists opposite_m hs) then
+        List.iter (fun h -> Labeling.set labeling h M) hs
+      else begin
+        let pointed = ref false in
+        List.iter
+          (fun h ->
+            if opposite_m h && not !pointed then begin
+              pointed := true;
+              Labeling.set labeling h P
+            end
+            else Labeling.set labeling h O)
+          hs
+      end)
+    nodes
+
+(* The base algorithm A: reuse the truly local MIS algorithm — an MIS is
+   in particular a pointer-certified dominating set. *)
+let base_algorithm sg ~ids labeling =
+  let scratch = Labeling.create (Tl_graph.Semi_graph.base sg) in
+  let rounds = Tl_symmetry.Algos.mis sg ~ids scratch in
+  (* translate the MIS labels into ours *)
+  List.iter
+    (fun v ->
+      List.iter
+        (fun h ->
+          match Labeling.get scratch h with
+          | Some Tl_problems.Mis.M -> Labeling.set labeling h M
+          | Some Tl_problems.Mis.P -> Labeling.set labeling h P
+          | Some Tl_problems.Mis.O -> Labeling.set labeling h O
+          | None -> ())
+        (Tl_graph.Semi_graph.half_edges_of sg v))
+    (Tl_graph.Semi_graph.nodes sg);
+  rounds
+
+let () =
+  let n = 20_000 in
+  let tree = Gen.random_tree ~n ~seed:2026 in
+  let ids = Ids.permuted ~n ~seed:3 in
+  let spec = { Theorem1.problem; base_algorithm; solve_edge_list } in
+  let r =
+    Theorem1.run ~check_invariants:true ~spec ~tree ~ids
+      ~f:Tl_core.Complexity.f_linear ()
+  in
+  Printf.printf "custom problem through Theorem 12: k = %d, rounds = %d\n"
+    r.Theorem1.k
+    (Tl_local.Round_cost.total r.Theorem1.cost);
+  let violations = Nec.validate problem tree r.Theorem1.labeling in
+  Printf.printf "node-edge-checkable validation: %s\n"
+    (if violations = [] then "valid" else "INVALID");
+  assert (violations = []);
+  (* referee check: decode S and verify domination *)
+  let in_s =
+    Array.init n (fun v ->
+        List.for_all (( = ) M) (Labeling.labels_at_node r.Theorem1.labeling v))
+  in
+  let dominated v =
+    in_s.(v) || Array.exists (fun u -> in_s.(u)) (Graph.neighbors tree v)
+  in
+  assert (List.for_all dominated (List.init n Fun.id));
+  let size = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 in_s in
+  Printf.printf "dominating set of size %d / %d, every node dominated\n" size n;
+  Printf.printf
+    "defining a new problem took ~60 lines: constraints, a greedy 1-hop\n\
+     completion, and a base algorithm — the transformation is generic.\n"

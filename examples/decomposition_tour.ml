@@ -1,0 +1,81 @@
+(* A guided tour of the two decompositions at the heart of the paper.
+
+   Run with:  dune exec examples/decomposition_tour.exe
+
+   Part 1 walks through rake-and-compress (Algorithm 1, [CHL+19]) on a
+   small tree and shows the layers, the T_C / T_R split, and the
+   Lemma 10/11 quantities. Part 2 runs the new Decomposition process
+   (Algorithm 3) on a planar graph and shows the typical/atypical edge
+   split and the F_{i,j} star families. *)
+
+module Gen = Tl_graph.Gen
+module Graph = Tl_graph.Graph
+module Semi_graph = Tl_graph.Semi_graph
+module Ids = Tl_local.Ids
+module RC = Tl_decompose.Rake_compress
+module AD = Tl_decompose.Arb_decompose
+
+let () =
+  Printf.printf "== Part 1: rake-and-compress on a caterpillar ==\n";
+  let tree = Gen.caterpillar ~spine:8 ~legs:2 in
+  let n = Graph.n_nodes tree in
+  let ids = Ids.identity n in
+  let k = 3 in
+  let rc = RC.run tree ~k ~ids in
+  Printf.printf "n = %d, k = %d, iterations = %d (Lemma 9 bound %s)\n" n k
+    (RC.iterations rc)
+    (if RC.check_lemma9 rc then "holds" else "VIOLATED");
+  List.iter
+    (fun v ->
+      let where =
+        match RC.mark rc v with
+        | RC.Compressed i -> Printf.sprintf "C_%d" i
+        | RC.Raked i -> Printf.sprintf "R_%d" i
+      in
+      if v < 10 then Printf.printf "  node %d (degree %d) -> layer %s\n" v (Graph.degree tree v) where)
+    (List.init n Fun.id);
+  Printf.printf "  ... (%d nodes total)\n" n;
+  let t_c = RC.t_c rc and t_r = RC.t_r rc in
+  Printf.printf "T_C: %d nodes, underlying degree %d (Lemma 10: <= k = %d)\n"
+    (Semi_graph.n_present_nodes t_c)
+    (Semi_graph.max_underlying_degree t_c)
+    k;
+  let diameters = RC.rake_component_diameters rc in
+  Printf.printf "T_R: %d nodes in %d components, max diameter %d (Lemma 11: <= %d)\n"
+    (Semi_graph.n_present_nodes t_r)
+    (List.length diameters)
+    (List.fold_left max 0 diameters)
+    (RC.lemma11_bound rc);
+
+  Printf.printf "\n== Part 2: Algorithm 3 on a hub-heavy bounded-arboricity graph ==\n";
+  (* a union of preferential-attachment trees: arboricity <= 3 but with
+     high-degree hubs, so the decomposition produces atypical edges *)
+  let g = Gen.power_law_union ~n:2000 ~arboricity:3 ~seed:9 in
+  let n = Graph.n_nodes g in
+  let a = 3 in
+  let k = 15 in
+  let ids = Ids.permuted ~n ~seed:5 in
+  let d = AD.run g ~a ~k ~ids in
+  Printf.printf "n = %d, m = %d, a = %d, b = 2a = %d, k = %d\n" n
+    (Graph.n_edges g) a (AD.b d) k;
+  Printf.printf "iterations = %d (Lemma 13 bound %d)\n" (AD.iterations d)
+    (AD.lemma13_bound d);
+  let typical = List.length (AD.typical_edges d) in
+  let atypical = List.length (AD.atypical_edges d) in
+  Printf.printf "typical edges: %d (degree <= %d by Lemma 14: %d), atypical: %d\n"
+    typical k (AD.typical_max_degree d) atypical;
+  Printf.printf "atypical edges per node: at most %d (bound b = %d)\n"
+    (AD.max_atypical_per_node d) (AD.b d);
+  Printf.printf "forest 3-coloring took %d rounds; star families F_ij:\n"
+    (AD.cv_rounds d);
+  for i = 1 to AD.b d do
+    for j = 1 to 3 do
+      let stars = AD.stars d ~i ~j in
+      if stars <> [] then begin
+        let edges = List.fold_left (fun acc (_, es) -> acc + List.length es) 0 stars in
+        Printf.printf "  F_%d,%d: %d stars, %d edges\n" i j (List.length stars) edges
+      end
+    done
+  done;
+  Printf.printf "star shape certificate: %s\n"
+    (if AD.check_stars d then "every component is a star" else "VIOLATED")

@@ -1,0 +1,60 @@
+(* Section 5.2: maximal matching on trees in O(log n / log log n) rounds,
+   reproving the optimal [BE13] bound via Theorem 15 with f(Delta) =
+   Theta(Delta).
+
+   Run with:  dune exec examples/tree_matching.exe
+
+   This example also digs one level deeper than the quickstart: it shows
+   the M/P/O/D half-edge encoding of Section 5.2 and the decomposition
+   that the transformation used. *)
+
+module Gen = Tl_graph.Gen
+module Graph = Tl_graph.Graph
+module Props = Tl_graph.Props
+module Ids = Tl_local.Ids
+module Pipeline = Tl_core.Pipeline
+module Matching = Tl_problems.Matching
+module Labeling = Tl_problems.Labeling
+module Complexity = Tl_core.Complexity
+
+let () =
+  List.iter
+    (fun n ->
+      let tree = Gen.random_tree ~n ~seed:(n + 5) in
+      let ids = Ids.permuted ~n ~seed:3 in
+      let r = Pipeline.matching_on_graph ~graph:tree ~a:1 ~ids () in
+      let curve = Complexity.mis_lower_bound ~n in
+      Printf.printf
+        "n = %7d: %5d rounds (log n / log log n = %5.1f, ratio %.1f) %s\n" n
+        r.Pipeline.total_rounds curve
+        (float_of_int r.Pipeline.total_rounds /. curve)
+        (if r.Pipeline.valid then "valid" else "INVALID"))
+    [ 1_000; 10_000; 100_000 ];
+
+  (* a small instance, spelled out label by label *)
+  Printf.printf "\nthe Section 5.2 encoding on a 6-node path:\n";
+  let tree = Gen.path 6 in
+  let ids = Ids.identity 6 in
+  let r = Pipeline.matching_on_graph ~graph:tree ~a:1 ~ids () in
+  let matched = Matching.decode tree r.Pipeline.labeling in
+  Graph.iter_edges
+    (fun e (u, v) ->
+      let label node =
+        match
+          Labeling.get r.Pipeline.labeling (Graph.half_edge tree ~edge:e ~node)
+        with
+        | Some Matching.M -> "M"
+        | Some Matching.P -> "P"
+        | Some Matching.O -> "O"
+        | Some Matching.D -> "D"
+        | None -> "?"
+      in
+      Printf.printf "  edge %d-%d: half-edges (%s, %s)%s\n" u v (label u)
+        (label v)
+        (if matched.(e) then "   <- in the matching" else ""))
+    tree;
+  assert (Props.is_maximal_matching tree matched);
+  Printf.printf "maximal matching confirmed; constraint recap:\n";
+  Printf.printf "  M = matched via this edge (must meet M)\n";
+  Printf.printf "  P = matched elsewhere, O = unmatched; {O,O} forbidden\n";
+  Printf.printf "  (that forbidden {O,O} configuration IS maximality)\n"

@@ -1,0 +1,37 @@
+(** Prior-art baselines in the style of [BE10, BE13] — the upper bounds
+    the paper's Theorem 3 improves upon.
+
+    Before this paper, the best bounds for (edge-degree+1)- and
+    (2Δ-1)-edge coloring on trees were `O(log n / log log n)`, and
+    `O(a + log n)` on arboricity-a graphs [BE13], obtained from
+    Nash-Williams-style forest decompositions. This module reconstructs
+    that approach on trees:
+
+    + run rake-and-compress with [k = 2]: every node ends up with at most
+      2 higher neighbors (a raked node has at most 1 alive neighbor at
+      removal, a compressed one at most 2), in [O(log n)] rounds;
+    + the edges, owned by their lower endpoints and split by owner into
+      two classes, form two forests; 3-color each with Cole-Vishkin and
+      split into six star families exactly as in Section 4;
+    + solve the star families sequentially with the Lemma 16/17 labeling
+      processes.
+
+    Total: [O(log n + log* n)] rounds — the [BE13]-flavoured baseline that
+    experiment E9 compares against the transformation. (The sharper
+    [O(log n / log log n)] of [BE13] needs degree-[log n] bucketing; the
+    paper reproves that bound generically via Theorem 15, see experiment
+    E10.) *)
+
+val edge_coloring_on_tree :
+  tree:Tl_graph.Graph.t ->
+  ids:int array ->
+  Tl_problems.Edge_coloring.label Tl_problems.Labeling.t
+  * Tl_local.Round_cost.t
+(** (edge-degree+1)-edge coloring of a tree in [O(log n)] rounds. *)
+
+val matching_on_tree :
+  tree:Tl_graph.Graph.t ->
+  ids:int array ->
+  Tl_problems.Matching.label Tl_problems.Labeling.t * Tl_local.Round_cost.t
+(** Maximal matching of a tree in [O(log n)] rounds via the same star
+    schedule with the Lemma 17 process. *)

@@ -1,0 +1,95 @@
+type f = float -> float
+
+let log2 x = Float.log x /. Float.log 2.0
+
+let f_linear x = x
+let f_sqrt_log x = if x <= 1.0 then 0.0 else Float.sqrt (x *. log2 x)
+let f_exp_sqrt_log x = if x <= 1.0 then 0.0 else Float.pow 2.0 (Float.sqrt (log2 x))
+
+let f_polylog ~exponent x =
+  if x <= 1.0 then 0.0 else Float.pow (log2 x) exponent
+
+let f_linial_reduction x =
+  if x <= 0.0 then 0.0
+  else
+    let l = log2 (x +. 1.0) in
+    x *. x *. l *. l
+
+let log_star = Tl_symmetry.Cole_vishkin.log_star
+
+let solve_g_target ~f ~target =
+  let value g = f g *. Float.log g in
+  (* [value] is monotone non-decreasing for g > 1 and tends to infinity;
+     find an upper bracket then bisect. *)
+  let rec bracket hi =
+    if value hi >= target || hi > 1e300 then hi else bracket (hi *. 2.0)
+  in
+  let hi = bracket 2.0 in
+  let lo = 1.0 in
+  let rec bisect lo hi i =
+    if i = 0 then (lo +. hi) /. 2.0
+    else begin
+      let mid = (lo +. hi) /. 2.0 in
+      if value mid >= target then bisect lo mid (i - 1)
+      else bisect mid hi (i - 1)
+    end
+  in
+  bisect lo hi 200
+
+let solve_g ~f ~n =
+  if n < 2.0 then invalid_arg "Complexity.solve_g: n < 2";
+  solve_g_target ~f ~target:(Float.log n)
+
+let solve_g_log ~f ~log2_n =
+  if log2_n < 1.0 then invalid_arg "Complexity.solve_g_log: log2_n < 1";
+  solve_g_target ~f ~target:(log2_n *. Float.log 2.0)
+
+let theorem1_rounds_log ~f ~log2_n = f (solve_g_log ~f ~log2_n)
+
+let mis_lower_bound_log ~log2_n =
+  if log2_n <= 2.0 then log2_n else log2_n /. log2 log2_n
+
+let theorem1_rounds ~f ~n =
+  if n < 2 then 0.0
+  else
+    let g = solve_g ~f ~n:(float_of_int n) in
+    f g +. float_of_int (log_star n)
+
+let theorem2_rounds ~f ~n ~a ~rho =
+  if n < 2 then 0.0
+  else begin
+    let g = solve_g ~f ~n:(float_of_int n) in
+    let k = Float.pow g (float_of_int rho) in
+    if float_of_int a > k /. 5.0 then Float.nan
+    else begin
+      let rho_f = float_of_int rho in
+      let log_g_a = Float.log (float_of_int a) /. Float.log g in
+      float_of_int a
+      +. (rho_f *. f k /. (rho_f -. log_g_a))
+      +. float_of_int (log_star n)
+    end
+  end
+
+let theorem3_tree_rounds ~n = theorem1_rounds ~f:(f_polylog ~exponent:12.0) ~n
+
+let mis_lower_bound ~n =
+  if n < 4 then 0.0
+  else
+    let l = log2 (float_of_int n) in
+    l /. log2 l
+
+let lift_lower_bound ~h ~n =
+  if n < 2 then 0.0 else h (solve_g ~f:h ~n:(float_of_int n))
+
+let choose_k ~f ~n =
+  if n < 2 then 2
+  else max 2 (int_of_float (Float.round (solve_g ~f ~n:(float_of_int n))))
+
+let choose_k_arb ~f ~n ~a ~rho =
+  let k_g =
+    if n < 2 then 2
+    else
+      let g = solve_g ~f ~n:(float_of_int n) in
+      int_of_float (Float.round (Float.pow g (float_of_int rho)))
+  in
+  max (5 * a) (max 2 k_g)

@@ -1,0 +1,98 @@
+(** Complexity-function algebra for the paper's transformation.
+
+    A truly local complexity is a monotonically non-decreasing, non-zero
+    function [f] (Section 1, footnote 6); the transformed complexity on
+    trees is [O(f(g(n)) + log* n)] where [g] is the unique solution of
+    [g(n)^{f(g(n))} = n]. This module provides the standard [f]s from the
+    paper, a numeric solver for [g], and the predicted round counts of
+    Theorems 12, 15 and 3 used by the experiments. *)
+
+type f = float -> float
+(** A complexity function on the maximum degree (continuous, monotone
+    non-decreasing, [f 0 = 0]). *)
+
+(** {1 Complexity functions from the paper} *)
+
+val f_linear : f
+(** [f(Δ) = Δ] — MIS and maximal matching ([BEK14, PR01, BBKO22a,
+    BBH+21]: tight). *)
+
+val f_sqrt_log : f
+(** [f(Δ) = √(Δ log Δ)] — best known for (Δ+1)- and (deg+1)-coloring
+    [MT20]. *)
+
+val f_exp_sqrt_log : f
+(** [f(Δ) = 2^{√(log Δ)}] — hypothetical improvement discussed in
+    Section 1.1. *)
+
+val f_polylog : exponent:float -> f
+(** [f(Δ) = log^e Δ] — with [e = 12] the bound of [BBKO22b] for
+    (edge-degree+1)-edge coloring, giving Theorem 3. *)
+
+val f_linial_reduction : f
+(** [f(Δ) = Δ² log² (Δ + 1)] — the truly local complexity of the
+    executable base algorithms shipped in [Tl_symmetry.Algos]. *)
+
+(** {1 The function g} *)
+
+val solve_g : f:f -> n:float -> float
+(** The unique [g > 1] with [f(g)·ln g = ln n] (i.e. [g^{f(g)} = n]),
+    by bisection. Requires [n >= 2]. *)
+
+val log_star : int -> int
+
+(** {1 Predicted round counts} *)
+
+val theorem1_rounds : f:f -> n:int -> float
+(** [f(g(n)) + log* n] — the Theorem 12 prediction on trees. *)
+
+val theorem2_rounds : f:f -> n:int -> a:int -> rho:int -> float
+(** [a + ρ·f(g(n)^ρ)/(ρ − log_{g(n)} a) + log* n] — the Theorem 15
+    prediction on arboricity-[a] graphs. Requires [a <= g(n)^ρ / 5]
+    (returns [nan] otherwise, mirroring the theorem's applicability
+    condition). *)
+
+val theorem3_tree_rounds : n:int -> float
+(** The Theorem 3 headline: [f = log^12] plugged into {!theorem1_rounds};
+    grows as [Θ(log^{12/13} n)]. *)
+
+val mis_lower_bound : n:int -> float
+(** The [Ω(log n / log log n)] barrier of [BBH+21, BBKO22a] for MIS and
+    maximal matching on trees (plotted as [log n / log log n]). *)
+
+(** {2 Log-scale evaluation}
+
+    Both Theorem 3's upper bound [log^{12/13} n] and the MIS barrier
+    [log n / log log n] depend on [n] only through [L = log₂ n], and their
+    asymptotic crossover happens at astronomically large [n]
+    ([L ≈ e^{52}]). The [log2_n]-parameterized variants below evaluate the
+    predictions directly from [L], letting experiments exhibit the
+    asymptotic separation honestly. *)
+
+val solve_g_log : f:f -> log2_n:float -> float
+(** The solution of [f(g)·ln g = L·ln 2]; {!solve_g} with [n = 2^L]. *)
+
+val theorem1_rounds_log : f:f -> log2_n:float -> float
+(** [f(g)] evaluated at [g = solve_g_log f L] (no additive [log*] term —
+    it is a constant-like additive term irrelevant on this scale). *)
+
+val mis_lower_bound_log : log2_n:float -> float
+(** [L / log₂ L]. *)
+
+val lift_lower_bound : h:f -> n:int -> float
+(** The "mechanical lifting" of Section 1.1's tightness discussion: a
+    lower bound [Ω(h(Δ))] on the truly local complexity (on balanced
+    regular trees) lifts to [Ω(min(h(Δ), log_Δ n))] for every [Δ] and,
+    balancing the two terms by solving [Δ^{h(Δ)} = n], to [Ω(h(g(n)))] as
+    a function of [n] alone — the same [g] as in the upper-bound
+    transformation, which is exactly why matching truly local bounds give
+    matching bounds on trees (conditional optimality). This evaluates
+    [h(g(n))]. *)
+
+val choose_k : f:f -> n:int -> int
+(** [max 2 (round (g(n)))] — the parameter fed to rake-and-compress by
+    Theorem 12's proof ([k := g(n)]). *)
+
+val choose_k_arb : f:f -> n:int -> a:int -> rho:int -> int
+(** [max (5a) (round (g(n)^ρ))] — the parameter of Theorem 15's proof
+    ([k := g(n)^ρ], subject to the [5a <= k] requirement). *)

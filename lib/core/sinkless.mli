@@ -1,0 +1,24 @@
+(** Sinkless orientation on trees in [Θ(log n)] LOCAL rounds.
+
+    Sinkless orientation — orient every edge so that no node of degree at
+    least 3 is a sink — is one of the paper's two flagship examples of a
+    problem with known nontrivial tight bounds: [Θ(log n)] deterministic
+    [GS17, CKP19], with the lower bound coming from the round-elimination
+    fixed point exhibited in [Tl_roundelim] (experiment E13).
+
+    The upper bound implemented here runs rake-and-compress with [k = 2]
+    and orients every edge from its higher endpoint toward its lower
+    endpoint (in the Section 3 total order). Correctness: a node [v] of
+    degree at least 3 was removed while at most 2 of its neighbors were
+    still alive (rake requires current degree [<= 1], compress with
+    [k = 2] requires current degree [<= 2]), so at least one neighbor lies
+    in a strictly earlier layer and the corresponding edge leaves [v].
+    The cost is the [O(log n)] decomposition plus one round. *)
+
+val solve_on_tree :
+  Tl_graph.Graph.t ->
+  ids:int array ->
+  Tl_problems.Orientation.label Tl_problems.Labeling.t * Tl_local.Round_cost.t
+(** Raises [Invalid_argument] if the graph is not a forest (each
+    component is handled independently). The returned labeling satisfies
+    {!Tl_problems.Orientation.problem}. *)

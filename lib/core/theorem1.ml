@@ -1,0 +1,93 @@
+module Graph = Tl_graph.Graph
+module Semi_graph = Tl_graph.Semi_graph
+module Labeling = Tl_problems.Labeling
+module Round_cost = Tl_local.Round_cost
+module Rake_compress = Tl_decompose.Rake_compress
+
+type 'l spec = {
+  problem : 'l Tl_problems.Nec.t;
+  base_algorithm :
+    Tl_graph.Semi_graph.t -> ids:int array -> 'l Tl_problems.Labeling.t -> int;
+  solve_edge_list :
+    Tl_graph.Graph.t -> 'l Tl_problems.Labeling.t -> nodes:int list -> unit;
+}
+
+type 'l result = {
+  labeling : 'l Tl_problems.Labeling.t;
+  cost : Tl_local.Round_cost.t;
+  rc : Tl_decompose.Rake_compress.t;
+  k : int;
+}
+
+let run ?(check_invariants = false) ?k ~spec ~tree ~ids ~f () =
+  let n = Graph.n_nodes tree in
+  let k =
+    match k with Some k -> k | None -> Complexity.choose_k ~f ~n
+  in
+  let assert_partial labeling phase =
+    if check_invariants then
+      match Tl_problems.Nec.validate_partial spec.problem tree labeling with
+      | [] -> ()
+      | v :: _ ->
+        failwith
+          (Format.asprintf "Theorem1.run: invariant broken after %s: %a"
+             phase Tl_problems.Nec.pp_violation v)
+  in
+  let cost = Round_cost.create () in
+  (* Phase 1: rake-and-compress decomposition (Algorithm 1). *)
+  let rc = Rake_compress.run tree ~k ~ids in
+  Round_cost.charge cost "decompose" (Rake_compress.decomposition_rounds rc);
+  let labeling = Labeling.create tree in
+  (* Phase 2: the base algorithm A on T_C (Algorithm 2, line 1). *)
+  let t_c = Rake_compress.t_c rc in
+  let base_rounds = spec.base_algorithm t_c ~ids labeling in
+  Round_cost.charge cost "base:A(T_C)" base_rounds;
+  assert_partial labeling "base:A(T_C)";
+  (* Phase 3: gather-and-solve Π× on each component of T_R (line 2). All
+     components are processed in parallel; the LOCAL cost is the largest
+     gather+redistribute distance, i.e. twice the eccentricity of the
+     collecting (highest) node. *)
+  let t_r = Rake_compress.t_r rc in
+  let components = Semi_graph.underlying_components t_r in
+  (* Restricted BFS with a shared scratch array: eccentricity of [src]
+     within its component, touching only component nodes. *)
+  let dist = Array.make n (-1) in
+  let ecc_within src =
+    let queue = Queue.create () in
+    let touched = ref [ src ] in
+    let far = ref 0 in
+    dist.(src) <- 0;
+    Queue.push src queue;
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      List.iter
+        (fun (u, _e) ->
+          if dist.(u) < 0 then begin
+            dist.(u) <- dist.(v) + 1;
+            if dist.(u) > !far then far := dist.(u);
+            touched := u :: !touched;
+            Queue.push u queue
+          end)
+        (Semi_graph.rank2_neighbors t_r v)
+    done;
+    List.iter (fun v -> dist.(v) <- -1) !touched;
+    !far
+  in
+  let max_gather = ref 0 in
+  Array.iter
+    (fun component ->
+      match component with
+      | [] -> ()
+      | first :: _ ->
+        let highest =
+          List.fold_left
+            (fun acc v -> if Rake_compress.is_higher rc v acc then v else acc)
+            first component
+        in
+        let ecc = ecc_within highest in
+        if 2 * ecc > !max_gather then max_gather := 2 * ecc;
+        spec.solve_edge_list tree labeling ~nodes:component;
+        assert_partial labeling "gather-solve(T_R) component")
+    components;
+  Round_cost.charge cost "gather-solve(T_R)" !max_gather;
+  { labeling; cost; rc; k }

@@ -1,0 +1,65 @@
+module Graph = Tl_graph.Graph
+module Semi_graph = Tl_graph.Semi_graph
+module Labeling = Tl_problems.Labeling
+module Round_cost = Tl_local.Round_cost
+module Arb_decompose = Tl_decompose.Arb_decompose
+
+type 'l spec = {
+  problem : 'l Tl_problems.Nec.t;
+  base_algorithm :
+    Tl_graph.Semi_graph.t -> ids:int array -> 'l Tl_problems.Labeling.t -> int;
+  solve_node_list :
+    Tl_graph.Graph.t -> 'l Tl_problems.Labeling.t -> edges:int list -> unit;
+}
+
+type 'l result = {
+  labeling : 'l Tl_problems.Labeling.t;
+  cost : Tl_local.Round_cost.t;
+  decomposition : Tl_decompose.Arb_decompose.t;
+  k : int;
+  rho : int;
+}
+
+let run ?(check_invariants = false) ?(rho = 2) ?k ~spec ~graph ~a ~ids ~f () =
+  if a < 1 then invalid_arg "Theorem2.run: a < 1";
+  let n = Graph.n_nodes graph in
+  let k =
+    match k with
+    | Some k -> k
+    | None -> Complexity.choose_k_arb ~f ~n ~a ~rho
+  in
+  let assert_partial labeling phase =
+    if check_invariants then
+      match Tl_problems.Nec.validate_partial spec.problem graph labeling with
+      | [] -> ()
+      | v :: _ ->
+        failwith
+          (Format.asprintf "Theorem2.run: invariant broken after %s: %a"
+             phase Tl_problems.Nec.pp_violation v)
+  in
+  let cost = Round_cost.create () in
+  (* Phase 1: Decomposition (Algorithm 3) with b = 2a, plus the F_i split
+     and the 3-coloring of the forests. *)
+  let d = Arb_decompose.run graph ~a ~k ~ids in
+  Round_cost.charge cost "decompose" (Arb_decompose.decomposition_rounds d);
+  Round_cost.charge cost "forest-3-coloring" (Arb_decompose.cv_rounds d);
+  let labeling = Labeling.create graph in
+  (* Phase 2: the base algorithm A on G[E₂] (Algorithm 4, line 1). *)
+  let g_e2 = Arb_decompose.g_e2 d in
+  let base_rounds = spec.base_algorithm g_e2 ~ids labeling in
+  Round_cost.charge cost "base:A(G[E2])" base_rounds;
+  assert_partial labeling "base:A(G[E2])";
+  (* Phase 3: Π* on the star families F_{i,j}, sequentially over the 6a
+     classes; within a class the stars are node-disjoint and each is
+     solved in 2 rounds (gather + redistribute at distance 1). *)
+  let b = Arb_decompose.b d in
+  for i = 1 to b do
+    for j = 1 to 3 do
+      List.iter
+        (fun (_center, edges) -> spec.solve_node_list graph labeling ~edges)
+        (Arb_decompose.stars d ~i ~j);
+      assert_partial labeling (Printf.sprintf "stars F_%d,%d" i j);
+      Round_cost.charge cost "gather-solve(stars)" 2
+    done
+  done;
+  { labeling; cost; decomposition = d; k; rho }

@@ -1,0 +1,202 @@
+module Graph = Tl_graph.Graph
+module Props = Tl_graph.Props
+module Semi_graph = Tl_graph.Semi_graph
+
+type mark = Compressed of int | Raked of int
+
+type t = {
+  tree : Graph.t;
+  k : int;
+  ids : int array;
+  marks : mark array;
+  iterations : int;
+}
+
+let ceil_log ~base x =
+  (* smallest integer i with base^i >= x *)
+  let rec go acc p = if p >= x then acc else go (acc + 1) (p * base) in
+  go 0 1
+
+let lemma9_bound ~k ~n = ceil_log ~base:k n + 1
+
+let run tree ~k ~ids =
+  if k < 2 then invalid_arg "Rake_compress.run: k < 2";
+  if not (Props.is_forest tree) then
+    invalid_arg "Rake_compress.run: not a forest";
+  let n = Graph.n_nodes tree in
+  if Array.length ids <> n then invalid_arg "Rake_compress.run: bad ids";
+  let marks = Array.make n (Raked 0) in
+  let alive = Array.make n true in
+  let deg = Array.init n (Graph.degree tree) in
+  let remaining = ref n in
+  let iteration = ref 0 in
+  let bound = lemma9_bound ~k ~n in
+  let remove v =
+    alive.(v) <- false;
+    Array.iter (fun u -> if alive.(u) then deg.(u) <- deg.(u) - 1) (Graph.neighbors tree v);
+    decr remaining
+  in
+  while !remaining > 0 do
+    incr iteration;
+    if !iteration > bound then
+      failwith "Rake_compress.run: Lemma 9 bound exceeded (input not a tree?)";
+    let i = !iteration in
+    (* Compress step: decided against the state at the start of the
+       iteration, then applied simultaneously. *)
+    let compress =
+      List.filter
+        (fun v ->
+          alive.(v)
+          && deg.(v) <= k
+          && Array.for_all
+               (fun u -> (not alive.(u)) || deg.(u) <= k)
+               (Graph.neighbors tree v))
+        (List.init n Fun.id)
+    in
+    List.iter
+      (fun v ->
+        marks.(v) <- Compressed i;
+        remove v)
+      compress;
+    (* Rake step on the remaining nodes. *)
+    let rake = List.filter (fun v -> alive.(v) && deg.(v) <= 1) (List.init n Fun.id) in
+    List.iter
+      (fun v ->
+        marks.(v) <- Raked i;
+        remove v)
+      rake
+  done;
+  { tree; k; ids; marks; iterations = !iteration }
+
+let mark t v = t.marks.(v)
+let iterations t = t.iterations
+
+let layer_index t v =
+  match t.marks.(v) with
+  | Compressed i -> 2 * (i - 1)
+  | Raked i -> (2 * (i - 1)) + 1
+
+let is_higher t u v =
+  let lu = layer_index t u and lv = layer_index t v in
+  if lu <> lv then lu > lv else t.ids.(u) > t.ids.(v)
+
+let higher_endpoint t e =
+  let u, v = Graph.edge_endpoints t.tree e in
+  if is_higher t u v then u else v
+
+let lower_endpoint t e =
+  let u, v = Graph.edge_endpoints t.tree e in
+  if is_higher t u v then v else u
+
+let decomposition_rounds t = 3 * t.iterations
+
+let compressed_nodes t =
+  let acc = ref [] in
+  for v = Graph.n_nodes t.tree - 1 downto 0 do
+    match t.marks.(v) with Compressed _ -> acc := v :: !acc | Raked _ -> ()
+  done;
+  !acc
+
+let raked_nodes t =
+  let acc = ref [] in
+  for v = Graph.n_nodes t.tree - 1 downto 0 do
+    match t.marks.(v) with Raked _ -> acc := v :: !acc | Compressed _ -> ()
+  done;
+  !acc
+
+let node_mask t pred =
+  Array.init (Graph.n_nodes t.tree) (fun v ->
+      match t.marks.(v) with
+      | Compressed _ -> pred `C
+      | Raked _ -> pred `R)
+
+let t_c t = Semi_graph.of_node_subset t.tree (node_mask t (fun m -> m = `C))
+let t_r t = Semi_graph.of_node_subset t.tree (node_mask t (fun m -> m = `R))
+
+let check_lemma9 t =
+  t.iterations <= lemma9_bound ~k:t.k ~n:(Graph.n_nodes t.tree)
+
+let compress_part_max_degree t =
+  (* degree in the graph induced by edges whose lower endpoint is in a
+     compress layer *)
+  let n = Graph.n_nodes t.tree in
+  let deg = Array.make n 0 in
+  Graph.iter_edges
+    (fun e _ ->
+      let lo = lower_endpoint t e in
+      match t.marks.(lo) with
+      | Compressed _ ->
+        let u, v = Graph.edge_endpoints t.tree e in
+        deg.(u) <- deg.(u) + 1;
+        deg.(v) <- deg.(v) + 1
+      | Raked _ -> ())
+    t.tree;
+  Array.fold_left max 0 deg
+
+let check_lemma10 t = compress_part_max_degree t <= t.k
+
+let rake_component_diameters t =
+  (* the raked subgraph is a forest (subgraph of a tree), so each
+     component's diameter is exact via a double BFS *)
+  let raked = raked_nodes t in
+  let sub, _ = Graph.induced t.tree raked in
+  let n = Graph.n_nodes sub in
+  let dist = Array.make n (-1) in
+  let bfs src =
+    (* returns (farthest node, distance); resets [dist] afterwards *)
+    let queue = Queue.create () in
+    let touched = ref [ src ] in
+    let far = ref src in
+    dist.(src) <- 0;
+    Queue.push src queue;
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      Array.iter
+        (fun u ->
+          if dist.(u) < 0 then begin
+            dist.(u) <- dist.(v) + 1;
+            if dist.(u) > dist.(!far) then far := u;
+            touched := u :: !touched;
+            Queue.push u queue
+          end)
+        (Graph.neighbors sub v)
+    done;
+    let d = dist.(!far) in
+    List.iter (fun v -> dist.(v) <- -1) !touched;
+    (!far, d)
+  in
+  let seen = Array.make n false in
+  let mark_component src =
+    let queue = Queue.create () in
+    seen.(src) <- true;
+    Queue.push src queue;
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      Array.iter
+        (fun u ->
+          if not seen.(u) then begin
+            seen.(u) <- true;
+            Queue.push u queue
+          end)
+        (Graph.neighbors sub v)
+    done
+  in
+  let diameters = ref [] in
+  for v = 0 to n - 1 do
+    if not seen.(v) then begin
+      mark_component v;
+      let far, _ = bfs v in
+      let _, d = bfs far in
+      diameters := d :: !diameters
+    end
+  done;
+  !diameters
+
+let lemma11_bound t =
+  let n = Graph.n_nodes t.tree in
+  (* 4 (log_k n + 1) + 2, with log_k n rounded up *)
+  (4 * (ceil_log ~base:t.k n + 1)) + 2
+
+let check_lemma11 t =
+  let bound = lemma11_bound t in
+  List.for_all (fun d -> d <= bound) (rake_component_diameters t)

@@ -1,0 +1,79 @@
+(** Structural graph properties: traversal, components, distances, sparsity
+    measures, and solution validators used throughout the test suites. *)
+
+(** {1 Traversal and connectivity} *)
+
+val bfs_distances : Graph.t -> int -> int array
+(** Distances from a source; [-1] marks unreachable nodes. *)
+
+val components : Graph.t -> int array * int
+(** [(comp, count)]: [comp.(v)] is the component index of [v], indices are
+    [0 .. count-1]. *)
+
+val component_members : Graph.t -> int list array
+(** Nodes of each component. *)
+
+val is_connected : Graph.t -> bool
+
+val eccentricity : Graph.t -> int -> int
+(** Maximum finite distance from a node to any node in its component. *)
+
+val diameter : Graph.t -> int
+(** Exact diameter of the largest-eccentricity component: max over all
+    nodes of {!eccentricity} (O(n·m); intended for experiment-sized
+    instances). [0] for an edgeless graph. *)
+
+val component_diameters : Graph.t -> int array
+(** Exact diameter of each component (indexed like {!components}). *)
+
+(** {1 Shape tests} *)
+
+val is_forest : Graph.t -> bool
+val is_tree : Graph.t -> bool
+
+val is_star : Graph.t -> bool
+(** A (possibly trivial) star: one center adjacent to all other nodes and
+    no other edges. Single nodes and single edges count as stars. *)
+
+(** {1 Sparsity} *)
+
+val degeneracy : Graph.t -> int
+(** Degeneracy (smallest [d] such that repeatedly removing a min-degree
+    node never sees degree > [d]); an upper bound on arboricity is
+    [degeneracy] and a lower bound is {!nash_williams_lower_bound}. *)
+
+val degeneracy_order : Graph.t -> int array
+(** A node ordering realizing the degeneracy (each node has at most
+    [degeneracy g] neighbors later in the order). *)
+
+val nash_williams_lower_bound : Graph.t -> int
+(** [ceil (m / (n - 1))] maximized over components with at least 2 nodes —
+    a cheap certified lower bound on arboricity; [0] for edgeless graphs. *)
+
+val arboricity_interval : Graph.t -> int * int
+(** [(lower, upper)] bounds on the arboricity: Nash-Williams density lower
+    bound and degeneracy upper bound. *)
+
+(** {1 Solution validators}
+
+    These are independent "referee" implementations used to cross-check the
+    node-edge-checkable validators of [Tl_problems]. *)
+
+val is_independent_set : Graph.t -> bool array -> bool
+val is_maximal_independent_set : Graph.t -> bool array -> bool
+
+val is_matching : Graph.t -> bool array -> bool
+(** [in_matching] indexed by edge id. *)
+
+val is_maximal_matching : Graph.t -> bool array -> bool
+
+val is_proper_coloring : Graph.t -> int array -> bool
+(** Colors indexed by node; any integers allowed. *)
+
+val is_proper_edge_coloring : Graph.t -> int array -> bool
+(** Colors indexed by edge id; adjacent edges must differ. *)
+
+val edge_degree : Graph.t -> int -> int
+(** Number of edges adjacent to an edge: [deg u + deg v - 2]. *)
+
+val max_edge_degree : Graph.t -> int

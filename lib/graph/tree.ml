@@ -1,0 +1,90 @@
+type rooted = {
+  root : int;
+  parent : int array;
+  depth : int array;
+  order : int array;
+}
+
+let root_at g root =
+  let n = Graph.n_nodes g in
+  let parent = Array.make n (-1) in
+  let depth = Array.make n (-1) in
+  let order = ref [] in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  depth.(root) <- 0;
+  Queue.push root queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order := v :: !order;
+    incr count;
+    Array.iter
+      (fun u ->
+        if depth.(u) < 0 then begin
+          depth.(u) <- depth.(v) + 1;
+          parent.(u) <- v;
+          Queue.push u queue
+        end)
+      (Graph.neighbors g v)
+  done;
+  let order_arr = Array.make !count (-1) in
+  List.iteri (fun i v -> order_arr.(!count - 1 - i) <- v) !order;
+  { root; parent; depth; order = order_arr }
+
+let root_forest g =
+  let comp, count = Props.components g in
+  let roots = Array.make count (-1) in
+  for v = Graph.n_nodes g - 1 downto 0 do
+    roots.(comp.(v)) <- v
+  done;
+  Array.map (root_at g) roots
+
+let parents_forest g =
+  if not (Props.is_forest g) then invalid_arg "Tree.parents_forest: not a forest";
+  let n = Graph.n_nodes g in
+  let parent = Array.make n (-1) in
+  Array.iter
+    (fun r -> Array.iteri (fun v p -> if p >= 0 then parent.(v) <- p) r.parent)
+    (root_forest g);
+  parent
+
+let subtree_sizes _g rooted =
+  let n = Array.length rooted.parent in
+  let size = Array.make n 1 in
+  (* reverse BFS order: children before parents *)
+  for i = Array.length rooted.order - 1 downto 0 do
+    let v = rooted.order.(i) in
+    let p = rooted.parent.(v) in
+    if p >= 0 then size.(p) <- size.(p) + size.(v)
+  done;
+  size
+
+let tree_diameter g =
+  if not (Props.is_tree g) then invalid_arg "Tree.tree_diameter: not a tree";
+  let d0 = Props.bfs_distances g 0 in
+  let far = ref 0 in
+  Array.iteri (fun v d -> if d > d0.(!far) then far := v) d0;
+  let d1 = Props.bfs_distances g !far in
+  Array.fold_left max 0 d1
+
+let centroid g =
+  if not (Props.is_tree g) then invalid_arg "Tree.centroid: not a tree";
+  let n = Graph.n_nodes g in
+  let r = root_at g 0 in
+  let size = subtree_sizes g r in
+  let best = ref 0 in
+  let best_weight = ref max_int in
+  for v = 0 to n - 1 do
+    (* weight of v = size of largest component of g - v *)
+    let w = ref (n - size.(v)) in
+    Array.iter
+      (fun u -> if r.parent.(u) = v && size.(u) > !w then w := size.(u))
+      (Graph.neighbors g v);
+    if !w < !best_weight then begin
+      best_weight := !w;
+      best := v
+    end
+  done;
+  !best
+
+let height r = Array.fold_left max 0 r.depth

@@ -1,0 +1,33 @@
+(** Rooted-tree utilities over {!Graph.t} values that are trees/forests. *)
+
+type rooted = {
+  root : int;
+  parent : int array;  (** [-1] at the root (and at roots of other components) *)
+  depth : int array;  (** depth from the root; [-1] if unreachable *)
+  order : int array;  (** nodes in BFS order from the root *)
+}
+
+val root_at : Graph.t -> int -> rooted
+(** BFS-root the component of the given node. Other components keep
+    [parent = -1], [depth = -1] and are absent from [order]. *)
+
+val root_forest : Graph.t -> rooted array
+(** One {!rooted} per component, rooted at its smallest node id. *)
+
+val parents_forest : Graph.t -> int array
+(** Single parent array for a whole forest (each component rooted at its
+    smallest node id, roots have parent [-1]). Raises [Invalid_argument]
+    if the graph is not a forest. *)
+
+val subtree_sizes : Graph.t -> rooted -> int array
+
+val tree_diameter : Graph.t -> int
+(** Diameter of a tree in O(n) (double BFS). Raises [Invalid_argument] if
+    the graph is not a tree. *)
+
+val centroid : Graph.t -> int
+(** A centroid of a tree (node minimizing the largest remaining component
+    when removed). Raises [Invalid_argument] if not a tree. *)
+
+val height : rooted -> int
+(** Maximum depth. *)

@@ -1,0 +1,33 @@
+module Semi_graph = Tl_graph.Semi_graph
+module Iset = Set.Make (Int)
+
+let knowledge_rounds sg ~center =
+  if not (Semi_graph.node_present sg center) then
+    invalid_arg "Gather.knowledge_rounds: absent center";
+  let component = Iset.of_list (Semi_graph.component_of sg center) in
+  let target = Iset.cardinal component in
+  let base = Semi_graph.base sg in
+  let n = Tl_graph.Graph.n_nodes base in
+  (* state per node: the set of component nodes it has heard of; one
+     synchronous round unions in every neighbor's knowledge *)
+  let states = Array.make n Iset.empty in
+  Iset.iter (fun v -> states.(v) <- Iset.singleton v) component;
+  let rounds = ref 0 in
+  while Iset.cardinal states.(center) < target do
+    if !rounds > target then
+      failwith "Gather.knowledge_rounds: flooding failed to converge";
+    incr rounds;
+    let next = Array.copy states in
+    Iset.iter
+      (fun v ->
+        next.(v) <-
+          List.fold_left
+            (fun acc (u, _) -> Iset.union acc states.(u))
+            states.(v)
+            (Semi_graph.rank2_neighbors sg v))
+      component;
+    Iset.iter (fun v -> states.(v) <- next.(v)) component
+  done;
+  !rounds
+
+let round_trip_cost sg ~center = 2 * knowledge_rounds sg ~center

@@ -1,0 +1,21 @@
+(** Full-information gathering — the primitive behind the
+    "collect the component at its highest node" steps of Algorithms 2
+    and 4.
+
+    In the LOCAL model messages are unbounded, so a node gathers its
+    entire connected component by flooding: every round, every node
+    forwards everything it knows. After [r] rounds a node knows exactly
+    its radius-[r] ball; the component is fully known after its
+    eccentricity many rounds, and a computed solution is redistributed in
+    the same number of rounds — hence the [2 × eccentricity] charge used
+    by the transformations. This module actually runs the flooding on the
+    simulator, as an executable cross-check of that charge. *)
+
+val knowledge_rounds : Tl_graph.Semi_graph.t -> center:int -> int
+(** Simulate full-information flooding on the semi-graph (communication
+    over present rank-2 edges) and return the number of rounds until
+    [center] knows every node of its underlying component. Equals
+    [Semi_graph.underlying_eccentricity] — verified by the test suite. *)
+
+val round_trip_cost : Tl_graph.Semi_graph.t -> center:int -> int
+(** [2 * knowledge_rounds]: collect plus redistribute. *)

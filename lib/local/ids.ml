@@ -1,0 +1,41 @@
+module Prng = Tl_graph.Gen.Prng
+
+let identity n = Array.init n (fun v -> v + 1)
+let reversed n = Array.init n (fun v -> n - v)
+
+let permuted ~n ~seed =
+  let ids = identity n in
+  Prng.shuffle (Prng.create seed) ids;
+  ids
+
+let spread ~n ~c ~seed =
+  if c < 1 then invalid_arg "Ids.spread: c < 1";
+  let bound =
+    let rec pow acc i = if i = 0 then acc else pow (acc * n) (i - 1) in
+    max n (pow 1 (min c 4))
+  in
+  let rng = Prng.create seed in
+  let seen = Hashtbl.create n in
+  Array.init n (fun _ ->
+      let rec draw () =
+        let id = 1 + Prng.int rng bound in
+        if Hashtbl.mem seen id then draw ()
+        else begin
+          Hashtbl.add seen id ();
+          id
+        end
+      in
+      draw ())
+
+let check_unique ids =
+  let seen = Hashtbl.create (Array.length ids) in
+  Array.for_all
+    (fun id ->
+      if id <= 0 || Hashtbl.mem seen id then false
+      else begin
+        Hashtbl.add seen id ();
+        true
+      end)
+    ids
+
+let max_id ids = Array.fold_left max 0 ids

@@ -1,0 +1,24 @@
+(** Unique-identifier assignments for LOCAL algorithms.
+
+    The LOCAL model gives every node a globally unique identifier from
+    [{1, ..., n^c}]. Deterministic algorithms may behave differently under
+    different assignments, so the generators here produce several
+    deterministic and seeded assignments for robustness testing. *)
+
+val identity : int -> int array
+(** [identity n] assigns node [v] the id [v + 1]. *)
+
+val reversed : int -> int array
+(** Node [v] gets [n - v]. *)
+
+val permuted : n:int -> seed:int -> int array
+(** Seeded uniformly random permutation of [{1..n}]. *)
+
+val spread : n:int -> c:int -> seed:int -> int array
+(** Distinct ids sampled from [{1 .. n^c}] (for [c >= 1]); exercises the
+    polynomial id-space assumption (ids much larger than [n]). *)
+
+val check_unique : int array -> bool
+(** All ids pairwise distinct and positive. *)
+
+val max_id : int array -> int

@@ -1,0 +1,30 @@
+type t = { mutable entries : (string * int) list (* reverse first-charge order *) }
+
+let create () = { entries = [] }
+
+let charge t phase rounds =
+  if rounds < 0 then invalid_arg "Round_cost.charge: negative rounds";
+  let rec bump = function
+    | [] -> None
+    | (name, r) :: rest when name = phase -> Some ((name, r + rounds) :: rest)
+    | entry :: rest -> Option.map (fun rest' -> entry :: rest') (bump rest)
+  in
+  match bump t.entries with
+  | Some entries -> t.entries <- entries
+  | None -> t.entries <- (phase, rounds) :: t.entries
+
+let total t = List.fold_left (fun acc (_, r) -> acc + r) 0 t.entries
+let phases t = List.rev t.entries
+
+let get t phase =
+  match List.assoc_opt phase t.entries with Some r -> r | None -> 0
+
+let merge_into ~dst ~src =
+  List.iter (fun (name, r) -> charge dst name r) (phases src)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>total %d rounds@," (total t);
+  List.iter
+    (fun (name, r) -> Format.fprintf ppf "  %-28s %6d@," name r)
+    (phases t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,28 @@
+(** Round-cost ledger for multi-phase LOCAL algorithms.
+
+    The transformations of Theorems 12 and 15 run several phases
+    (decomposition, base algorithm, gather-and-solve, ...). Each phase
+    charges the number of LOCAL rounds it would take on a real network; the
+    ledger keeps a named per-phase breakdown so experiments can report both
+    totals and the contribution of each phase. *)
+
+type t
+
+val create : unit -> t
+
+val charge : t -> string -> int -> unit
+(** [charge ledger phase rounds] adds [rounds] (>= 0) under [phase].
+    Charging the same phase name twice accumulates. *)
+
+val total : t -> int
+
+val phases : t -> (string * int) list
+(** Phases in first-charge order with their accumulated rounds. *)
+
+val get : t -> string -> int
+(** Rounds charged to a phase ([0] if never charged). *)
+
+val merge_into : dst:t -> src:t -> unit
+(** Accumulate all of [src]'s phases into [dst]. *)
+
+val pp : Format.formatter -> t -> unit

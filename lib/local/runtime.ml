@@ -1,0 +1,69 @@
+module Semi_graph = Tl_graph.Semi_graph
+
+type 'state outcome = { states : 'state array; rounds : int }
+
+let gather_neighbors sg states v =
+  List.map
+    (fun (u, e) -> (u, e, states.(u)))
+    (Semi_graph.rank2_neighbors sg v)
+
+let run ~sg ~init ~step ~halted ~max_rounds =
+  let base = Semi_graph.base sg in
+  let n = Tl_graph.Graph.n_nodes base in
+  let present = Array.init n (Semi_graph.node_present sg) in
+  let states = Array.init n (fun v -> init v) in
+  let all_halted () =
+    let ok = ref true in
+    for v = 0 to n - 1 do
+      if present.(v) && not (halted states.(v)) then ok := false
+    done;
+    !ok
+  in
+  let rounds = ref 0 in
+  while (not (all_halted ())) && !rounds < max_rounds do
+    incr rounds;
+    let next = Array.copy states in
+    for v = 0 to n - 1 do
+      if present.(v) then
+        next.(v) <-
+          step ~round:!rounds ~node:v states.(v)
+            ~neighbors:(gather_neighbors sg states v)
+    done;
+    Array.blit next 0 states 0 n
+  done;
+  if not (all_halted ()) then
+    failwith
+      (Printf.sprintf "Runtime.run: max_rounds=%d exceeded" max_rounds);
+  { states; rounds = !rounds }
+
+let run_until_stable ~sg ~init ~step ~equal ~max_rounds =
+  let base = Semi_graph.base sg in
+  let n = Tl_graph.Graph.n_nodes base in
+  let present = Array.init n (Semi_graph.node_present sg) in
+  let states = Array.init n (fun v -> init v) in
+  let rounds = ref 0 in
+  let stable = ref false in
+  while (not !stable) && !rounds < max_rounds do
+    let next = Array.copy states in
+    let changed = ref false in
+    for v = 0 to n - 1 do
+      if present.(v) then begin
+        let s =
+          step ~round:(!rounds + 1) ~node:v states.(v)
+            ~neighbors:(gather_neighbors sg states v)
+        in
+        if not (equal s states.(v)) then changed := true;
+        next.(v) <- s
+      end
+    done;
+    if !changed then begin
+      incr rounds;
+      Array.blit next 0 states 0 n
+    end
+    else stable := true
+  done;
+  if not !stable then
+    failwith
+      (Printf.sprintf "Runtime.run_until_stable: max_rounds=%d exceeded"
+         max_rounds);
+  { states; rounds = !rounds }

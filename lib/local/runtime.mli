@@ -1,0 +1,56 @@
+(** Deterministic synchronous simulator for the LOCAL model (Definition 5).
+
+    The simulation uses the standard state-reading formulation, equivalent
+    to LOCAL with unbounded messages: in every round each node atomically
+    reads the current published state of all neighbors reachable over
+    rank-2 edges of the semi-graph, then computes its next state. The
+    number of executed rounds is returned; algorithms built on top record
+    their cost in a {!Round_cost.t} ledger.
+
+    Determinism: given the semi-graph, the ID assignment and a
+    deterministic [step], runs are bit-for-bit reproducible. *)
+
+type 'state outcome = {
+  states : 'state array;
+      (** Final state per base node (only present nodes are meaningful). *)
+  rounds : int;  (** Number of synchronous rounds executed. *)
+}
+
+val run :
+  sg:Tl_graph.Semi_graph.t ->
+  init:(int -> 'state) ->
+  step:
+    (round:int ->
+    node:int ->
+    'state ->
+    neighbors:(int * int * 'state) list ->
+    'state) ->
+  halted:('state -> bool) ->
+  max_rounds:int ->
+  'state outcome
+(** [run ~sg ~init ~step ~halted ~max_rounds] initializes every present
+    node with [init node] and then executes synchronous rounds: in round
+    [r] (starting from 1) each present node [v] receives
+    [step ~round:r ~node:v state ~neighbors] where [neighbors] lists
+    [(neighbor, edge, neighbor_state)] over present rank-2 edges. The run
+    stops as soon as every present node's state satisfies [halted] —
+    checked {e before} the first round, so an already-halted configuration
+    costs 0 rounds — or when [max_rounds] is reached, whichever comes
+    first. Raises [Failure] if [max_rounds] is exceeded with non-halted
+    nodes, as a guard against non-terminating algorithms. *)
+
+val run_until_stable :
+  sg:Tl_graph.Semi_graph.t ->
+  init:(int -> 'state) ->
+  step:
+    (round:int ->
+    node:int ->
+    'state ->
+    neighbors:(int * int * 'state) list ->
+    'state) ->
+  equal:('state -> 'state -> bool) ->
+  max_rounds:int ->
+  'state outcome
+(** Like {!run}, but stops when a global fixed point is reached (no state
+    changed during a round). The fixed-point detection round itself is not
+    charged. *)

@@ -1,0 +1,15 @@
+module Semi_graph = Tl_graph.Semi_graph
+
+let ball sg ~center ~radius =
+  let dist = Semi_graph.underlying_distances sg center in
+  let acc = ref [] in
+  Array.iteri
+    (fun v d -> if d >= 0 && d <= radius then acc := v :: !acc)
+    dist;
+  List.rev !acc
+
+let gather_cost sg ~center = 2 * Semi_graph.underlying_eccentricity sg center
+
+let radius_needed sg ~component ~center =
+  let dist = Semi_graph.underlying_distances sg center in
+  List.fold_left (fun acc v -> max acc dist.(v)) 0 component

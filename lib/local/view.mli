@@ -1,0 +1,19 @@
+(** r-hop views.
+
+    In the LOCAL model a T-round algorithm is equivalent to a function of
+    each node's radius-T view. These helpers extract balls and views for
+    testing that equivalence and for the gather-and-solve phases of the
+    transformations (a node collecting its component at distance d has a
+    LOCAL cost of d rounds to collect plus d rounds to redistribute). *)
+
+val ball : Tl_graph.Semi_graph.t -> center:int -> radius:int -> int list
+(** Present nodes within the given distance of [center], through present
+    rank-2 edges, ascending. *)
+
+val gather_cost : Tl_graph.Semi_graph.t -> center:int -> int
+(** LOCAL rounds for [center] to collect its whole underlying component and
+    redistribute a solution: twice its eccentricity in the component. *)
+
+val radius_needed : Tl_graph.Semi_graph.t -> component:int list -> center:int -> int
+(** Eccentricity of [center] within its component (must equal the BFS
+    eccentricity; exposed for certificate checking). *)

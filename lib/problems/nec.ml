@@ -1,0 +1,112 @@
+module Graph = Tl_graph.Graph
+module Semi_graph = Tl_graph.Semi_graph
+
+type 'l t = {
+  name : string;
+  equal_label : 'l -> 'l -> bool;
+  pp_label : Format.formatter -> 'l -> unit;
+  node_ok : 'l list -> bool;
+  edge_ok : 'l list -> bool;
+}
+
+type violation =
+  | Node_violation of int * string
+  | Edge_violation of int * string
+  | Missing_half_edge of int
+
+let render_config pp_label labels =
+  Format.asprintf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_label)
+    labels
+
+let validate_semi problem sg labeling =
+  let g = Semi_graph.base sg in
+  let violations = ref [] in
+  (* half-edge completeness *)
+  for h = Graph.n_half_edges g - 1 downto 0 do
+    if Semi_graph.half_edge_present sg h && not (Labeling.is_labeled labeling h)
+    then violations := Missing_half_edge h :: !violations
+  done;
+  (* node constraints *)
+  List.iter
+    (fun v ->
+      let labels =
+        List.filter_map (Labeling.get labeling) (Semi_graph.half_edges_of sg v)
+      in
+      if List.length labels = Semi_graph.sdeg sg v && not (problem.node_ok labels)
+      then
+        violations :=
+          Node_violation (v, render_config problem.pp_label labels) :: !violations)
+    (Semi_graph.nodes sg);
+  (* edge constraints *)
+  List.iter
+    (fun e ->
+      let u, w = Graph.edge_endpoints g e in
+      let labels =
+        List.filter_map
+          (fun node ->
+            if Semi_graph.node_present sg node then
+              Labeling.get labeling (Graph.half_edge g ~edge:e ~node)
+            else None)
+          [ u; w ]
+      in
+      if List.length labels = Semi_graph.rank sg e && not (problem.edge_ok labels)
+      then
+        violations :=
+          Edge_violation (e, render_config problem.pp_label labels) :: !violations)
+    (Semi_graph.edges sg);
+  List.rev !violations
+
+let validate problem g labeling =
+  validate_semi problem (Semi_graph.of_graph g) labeling
+
+let validate_partial problem g labeling =
+  let violations = ref [] in
+  for v = Graph.n_nodes g - 1 downto 0 do
+    let hs = Graph.half_edges_of g v in
+    let labels = List.filter_map (Labeling.get labeling) hs in
+    if List.length labels = List.length hs && not (problem.node_ok labels)
+    then
+      violations :=
+        Node_violation (v, render_config problem.pp_label labels) :: !violations
+  done;
+  Graph.iter_edges
+    (fun e _ ->
+      match Labeling.labels_at_edge labeling e with
+      | [ _; _ ] as labels ->
+        if not (problem.edge_ok labels) then
+          violations :=
+            Edge_violation (e, render_config problem.pp_label labels)
+            :: !violations
+      | _ -> ())
+    g;
+  !violations
+
+let is_valid problem g labeling = validate problem g labeling = []
+
+let pp_violation ppf = function
+  | Node_violation (v, config) ->
+    Format.fprintf ppf "node %d has invalid configuration %s" v config
+  | Edge_violation (e, config) ->
+    Format.fprintf ppf "edge %d has invalid configuration %s" e config
+  | Missing_half_edge h -> Format.fprintf ppf "half-edge %d is unlabeled" h
+
+let multiset_equal equal xs ys =
+  let rec remove_one x = function
+    | [] -> None
+    | y :: rest when equal x y -> Some rest
+    | y :: rest -> Option.map (fun r -> y :: r) (remove_one x rest)
+  in
+  let rec go xs ys =
+    match xs with
+    | [] -> ys = []
+    | x :: rest -> (
+      match remove_one x ys with
+      | None -> false
+      | Some ys' -> go rest ys')
+  in
+  go xs ys
+
+let count p labels = List.length (List.filter p labels)

@@ -1,0 +1,22 @@
+(** Sinkless orientation: orient every edge so that no node of degree at
+    least 3 has all edges incoming. One of only two natural problems with
+    known nontrivial tight bounds ([Θ(log n)] deterministic), and the
+    classic example of a round-elimination fixed point — included as the
+    demo problem for [Tl_roundelim]. *)
+
+type label = In | Out
+(** The label on half-edge [(v, e)]: [Out] means [e] is oriented away from
+    [v]. A consistently oriented rank-2 edge carries [{In, Out}]. *)
+
+val problem : label Nec.t
+
+val decode : Tl_graph.Graph.t -> label Labeling.t -> bool array
+(** Per edge: [true] if oriented from the smaller to the larger endpoint. *)
+
+val solve_sequential : Tl_graph.Graph.t -> label Labeling.t
+(** Centralized referee solver: orient along an Euler-style walk /
+    low-degree peeling so that every degree >= 3 node gets an out-edge.
+    Works on any graph in which every component with a degree >= 3 node
+    contains a cycle or a leaf-path to escape into; on trees it orients
+    edges toward a root, giving every non-root an out-edge (roots of
+    degree >= 3 never arise rootward... see implementation notes). *)

@@ -1,0 +1,289 @@
+type problem = {
+  name : string;
+  alphabet : string array;
+  node_arity : int;
+  edge_arity : int;
+  node : int list list;
+  edge : int list list;
+}
+
+let normalize_configs configs =
+  List.sort_uniq compare (List.map (List.sort compare) configs)
+
+let make ~name ~alphabet ~node_arity ~edge_arity ~node ~edge =
+  let alpha = Array.of_list alphabet in
+  let index l =
+    let rec find i =
+      if i >= Array.length alpha then
+        invalid_arg (Printf.sprintf "Re.make: unknown label %s" l)
+      else if alpha.(i) = l then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let convert arity configs =
+    List.map
+      (fun c ->
+        if List.length c <> arity then invalid_arg "Re.make: wrong arity";
+        List.map index c)
+      configs
+  in
+  {
+    name;
+    alphabet = alpha;
+    node_arity;
+    edge_arity;
+    node = normalize_configs (convert node_arity node);
+    edge = normalize_configs (convert edge_arity edge);
+  }
+
+(* --- multiset enumeration ----------------------------------------------- *)
+
+(* all sorted multisets of the given size over the (sorted) candidates *)
+let rec multisets size candidates =
+  if size = 0 then [ [] ]
+  else
+    match candidates with
+    | [] -> []
+    | x :: rest ->
+      let with_x = List.map (fun m -> x :: m) (multisets (size - 1) candidates) in
+      with_x @ multisets size rest
+
+(* all transversals of a list of label sets (as int lists) *)
+let rec transversals = function
+  | [] -> [ [] ]
+  | s :: rest ->
+    let tails = transversals rest in
+    List.concat_map (fun x -> List.map (fun t -> x :: t) tails) s
+
+(* --- subset labels as bitmasks ------------------------------------------ *)
+
+let bits_of_mask mask =
+  let rec go i acc =
+    if 1 lsl i > mask then List.rev acc
+    else go (i + 1) (if mask land (1 lsl i) <> 0 then i :: acc else acc)
+  in
+  go 0 []
+
+let subset_leq a b = a land b = a
+
+(* configuration [c1] is dominated by [c2] (both sorted lists of masks of
+   equal length) if some pairing maps each element of [c1] into a superset
+   element of [c2] *)
+let dominated c1 c2 =
+  let rec match_all c1 c2 =
+    match c1 with
+    | [] -> true
+    | x :: rest ->
+      let rec try_partner before = function
+        | [] -> false
+        | y :: after ->
+          (subset_leq x y && match_all rest (List.rev_append before after))
+          || try_partner (y :: before) after
+      in
+      try_partner [] c2
+  in
+  match_all c1 c2
+
+let maximal_only configs =
+  List.filter
+    (fun c ->
+      not (List.exists (fun c' -> c <> c' && dominated c c') configs))
+    configs
+
+(* --- the operator -------------------------------------------------------- *)
+
+(* One elimination step: the [forall] constraint (arity fa) is rebuilt over
+   subset labels with universal quantification and maximality; the
+   [exists] constraint (arity fe) over the used subset labels with
+   existential quantification. Returns (new alphabet, forall', exists'). *)
+let step ~alphabet ~forall_arity ~forall ~exists_arity ~exists =
+  let sigma = Array.length alphabet in
+  if sigma > 14 then
+    invalid_arg "Re.step: alphabet too large for subset enumeration";
+  let forall_set = Hashtbl.create 64 in
+  List.iter (fun c -> Hashtbl.replace forall_set c ()) forall;
+  let exists_set = Hashtbl.create 64 in
+  List.iter (fun c -> Hashtbl.replace exists_set c ()) exists;
+  let all_masks = List.init ((1 lsl sigma) - 1) (fun i -> i + 1) in
+  (* forall side *)
+  let candidates = multisets forall_arity all_masks in
+  let ok_forall masks =
+    List.for_all
+      (fun t -> Hashtbl.mem forall_set (List.sort compare t))
+      (transversals (List.map bits_of_mask masks))
+  in
+  let forall' = maximal_only (List.filter ok_forall candidates) in
+  (* labels used by the maximal forall configurations *)
+  let used = List.sort_uniq compare (List.concat forall') in
+  (* exists side over used labels *)
+  let ok_exists masks =
+    List.exists
+      (fun t -> Hashtbl.mem exists_set (List.sort compare t))
+      (transversals (List.map bits_of_mask masks))
+  in
+  let exists' = List.filter ok_exists (multisets exists_arity used) in
+  (* rename masks to dense ids *)
+  let id_of_mask = Hashtbl.create 16 in
+  List.iteri (fun i m -> Hashtbl.add id_of_mask m i) used;
+  let rename c = List.sort compare (List.map (Hashtbl.find id_of_mask) c) in
+  let name_of_mask m =
+    Printf.sprintf "{%s}"
+      (String.concat "," (List.map (fun b -> alphabet.(b)) (bits_of_mask m)))
+  in
+  let alphabet' = Array.of_list (List.map name_of_mask used) in
+  ( alphabet',
+    normalize_configs (List.map rename forall'),
+    normalize_configs (List.map rename exists') )
+
+let re p =
+  let alphabet, edge', node' =
+    step ~alphabet:p.alphabet ~forall_arity:p.edge_arity ~forall:p.edge
+      ~exists_arity:p.node_arity ~exists:p.node
+  in
+  {
+    name = Printf.sprintf "R(%s)" p.name;
+    alphabet;
+    node_arity = p.node_arity;
+    edge_arity = p.edge_arity;
+    node = node';
+    edge = edge';
+  }
+
+let re_dual p =
+  let alphabet, node', edge' =
+    step ~alphabet:p.alphabet ~forall_arity:p.node_arity ~forall:p.node
+      ~exists_arity:p.edge_arity ~exists:p.edge
+  in
+  {
+    name = Printf.sprintf "R~(%s)" p.name;
+    alphabet;
+    node_arity = p.node_arity;
+    edge_arity = p.edge_arity;
+    node = node';
+    edge = edge';
+  }
+
+(* --- equivalence --------------------------------------------------------- *)
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x ->
+        let rest = List.filter (fun y -> y <> x) l in
+        List.map (fun p -> x :: p) (permutations rest))
+      l
+
+let equivalent p1 p2 =
+  p1.node_arity = p2.node_arity
+  && p1.edge_arity = p2.edge_arity
+  && Array.length p1.alphabet = Array.length p2.alphabet
+  &&
+  let k = Array.length p1.alphabet in
+  let apply perm configs =
+    normalize_configs (List.map (List.map (fun l -> List.nth perm l)) configs)
+  in
+  List.exists
+    (fun perm -> apply perm p1.node = p2.node && apply perm p1.edge = p2.edge)
+    (permutations (List.init k Fun.id))
+
+let is_fixed_point p = equivalent p (re p)
+
+(* --- stock problems ------------------------------------------------------ *)
+
+let sinkless_orientation ~delta =
+  let node =
+    (* multisets of size delta over {I, O} with at least one O *)
+    List.init delta (fun outs ->
+        List.init (delta - outs - 1) (fun _ -> "I")
+        @ List.init (outs + 1) (fun _ -> "O"))
+  in
+  make ~name:"sinkless-orientation" ~alphabet:[ "I"; "O" ] ~node_arity:delta
+    ~edge_arity:2 ~node ~edge:[ [ "I"; "O" ] ]
+
+let perfect_matching ~delta =
+  let node = [ "M" :: List.init (delta - 1) (fun _ -> "U") ] in
+  make ~name:"perfect-matching" ~alphabet:[ "M"; "U" ] ~node_arity:delta
+    ~edge_arity:2 ~node
+    ~edge:[ [ "M"; "M" ]; [ "U"; "U" ] ]
+
+let mis ~delta =
+  let node =
+    List.init delta (fun _ -> "M")
+    :: [ "P" :: List.init (delta - 1) (fun _ -> "O") ]
+  in
+  make ~name:"mis" ~alphabet:[ "M"; "P"; "O" ] ~node_arity:delta ~edge_arity:2
+    ~node
+    ~edge:[ [ "M"; "P" ]; [ "M"; "O" ]; [ "O"; "O" ] ]
+
+let weak_2coloring ~delta =
+  make ~name:"2-coloring" ~alphabet:[ "A"; "B" ] ~node_arity:delta
+    ~edge_arity:2
+    ~node:
+      [ List.init delta (fun _ -> "A"); List.init delta (fun _ -> "B") ]
+    ~edge:[ [ "A"; "B" ] ]
+
+let pp ppf p =
+  Format.fprintf ppf "@[<v>problem %s (node arity %d, edge arity %d)@," p.name
+    p.node_arity p.edge_arity;
+  Format.fprintf ppf "  labels: %s@,"
+    (String.concat " " (Array.to_list p.alphabet));
+  let render c = String.concat " " (List.map (fun l -> p.alphabet.(l)) c) in
+  Format.fprintf ppf "  node: %s@,"
+    (String.concat " | " (List.map render p.node));
+  Format.fprintf ppf "  edge: %s@]"
+    (String.concat " | " (List.map render p.edge))
+
+let zero_round_solvable p =
+  let edge_set = Hashtbl.create 16 in
+  List.iter (fun c -> Hashtbl.replace edge_set c ()) p.edge;
+  let pair_ok x y = Hashtbl.mem edge_set (List.sort compare [ x; y ]) in
+  List.exists
+    (fun config ->
+      let labels = List.sort_uniq compare config in
+      List.for_all
+        (fun x -> List.for_all (fun y -> pair_ok x y) labels)
+        labels)
+    p.node
+
+type lower_bound_outcome =
+  | Zero_round_after of int
+  | Fixed_point_at of int
+  | Still_growing of int
+
+let lower_bound_loop ?(max_pairs = 4) ?(max_alphabet = 8) p =
+  (* the subset construction is exponential in the alphabet, so refuse to
+     even *apply* an operator to a problem beyond the cap *)
+  let rec go p pairs =
+    if zero_round_solvable p then Zero_round_after pairs
+    else if pairs >= max_pairs then Still_growing pairs
+    else if Array.length p.alphabet > max_alphabet then Still_growing pairs
+    else begin
+      let p' = re p in
+      if Array.length p'.alphabet > max_alphabet then Still_growing pairs
+      else begin
+        let p'' = re_dual p' in
+        if Array.length p''.alphabet > max_alphabet then Still_growing pairs
+        else if equivalent p p'' then Fixed_point_at pairs
+        else go p'' (pairs + 1)
+      end
+    end
+  in
+  go p 0
+
+let trajectory ?(steps = 5) p =
+  (* Alternate R and R̄ — one application of each eliminates one round. *)
+  let rec go p i acc =
+    let entry =
+      (Array.length p.alphabet, List.length p.node, List.length p.edge)
+    in
+    if i >= steps then List.rev (entry :: acc)
+    else begin
+      let p' = (if i mod 2 = 0 then re else re_dual) p in
+      if Array.length p'.alphabet <= 8 && equivalent p p' then
+        List.rev (entry :: acc)
+      else go p' (i + 1) (entry :: acc)
+    end
+  in
+  go p 0 []

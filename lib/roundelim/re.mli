@@ -1,0 +1,122 @@
+(** Round elimination for finite node-edge-checkable problems on regular
+    trees.
+
+    The paper's lower-bound context (Section 1) rests on the round
+    elimination technique [Bra19, BFH+16]: for a problem [Π] on
+    [Δ]-regular trees given by a finite node constraint (multisets of
+    size [Δ]) and edge constraint (multisets of size 2), the operator
+    [R(Π)] produces a problem exactly one round easier, and problems that
+    are {e fixed points} of (the suitably composed) operator admit the
+    [Ω(log n)]-style lower bounds cited by the paper. This module
+    implements the operator for finite label alphabets:
+
+    - [R]: new labels are non-empty subsets of the old alphabet; the new
+      {e edge} constraint keeps the maximal multisets [{S₁, S₂}] such that
+      {e every} transversal [(s₁, s₂) ∈ S₁ × S₂] satisfies the old edge
+      constraint; the new {e node} constraint keeps the multisets (over
+      labels used by the new edge constraint) such that {e some}
+      transversal satisfies the old node constraint.
+    - [R̄ (re_dual)]: the same with the roles of nodes and edges swapped.
+
+    The classic demo: sinkless orientation is a fixed point ([R(Π) ≅ Π]
+    after renaming), the mechanism behind its [Ω(log n)] bound [BFH+16,
+    CKP19]. *)
+
+type problem = {
+  name : string;
+  alphabet : string array;  (** label names, indexed by label id *)
+  node_arity : int;  (** [Δ] — the degree of the regular tree *)
+  edge_arity : int;  (** 2 for graphs *)
+  node : int list list;  (** allowed node configurations (sorted multisets) *)
+  edge : int list list;  (** allowed edge configurations (sorted multisets) *)
+}
+
+val make :
+  name:string ->
+  alphabet:string list ->
+  node_arity:int ->
+  edge_arity:int ->
+  node:string list list ->
+  edge:string list list ->
+  problem
+(** Build a problem from label names; configurations are normalized
+    (sorted, deduplicated). Raises [Invalid_argument] on unknown labels or
+    configurations of the wrong arity. *)
+
+val re : problem -> problem
+(** One round-elimination step [R(Π)] (∀ on edges, ∃ on nodes). The new
+    alphabet consists of the subset-labels used by the new edge
+    constraint, rendered as ["{a,b,...}"] strings. *)
+
+val re_dual : problem -> problem
+(** The dual step [R̄(Π)] (∀ on nodes, ∃ on edges). *)
+
+val equivalent : problem -> problem -> bool
+(** Equality up to a bijective renaming of labels (exhaustive search —
+    intended for the small alphabets of round-elimination experiments). *)
+
+val is_fixed_point : problem -> bool
+(** [equivalent Π (re Π)] — the one-step fixed-point test satisfied by
+    sinkless orientation. *)
+
+val sinkless_orientation : delta:int -> problem
+(** Sinkless orientation on [Δ]-regular trees: labels [{I, O}], edge
+    constraint [{I, O}], node constraint "at least one [O]". *)
+
+val perfect_matching : delta:int -> problem
+(** Perfect matching on [Δ]-regular trees: labels [{M, U}], edge
+    constraint [{M, M}] or [{U, U}], node constraint "exactly one [M]". *)
+
+val mis : delta:int -> problem
+(** MIS on [Δ]-regular trees with the pointer encoding ([M]/[P]/[O], as in
+    Section 5 of the paper's framework): a problem whose round-elimination
+    trajectory {e grows}, as in the [Ω(log n / log log n)] lower-bound
+    proofs [BBH+21]. *)
+
+val weak_2coloring : delta:int -> problem
+(** Proper 2-coloring encoded on half-edges, a problem that round
+    elimination collapses quickly (useful as a non-fixed-point test
+    case). *)
+
+val pp : Format.formatter -> problem -> unit
+
+val trajectory : ?steps:int -> problem -> (int * int * int) list
+(** Sizes [(alphabet, node configs, edge configs)] along repeated
+    application of [re]; stops early at a fixed point. Used by the
+    round-elimination experiment. *)
+
+(** {1 The lower-bound loop}
+
+    The round elimination recipe for lower bounds (the machinery behind
+    every state-of-the-art bound cited in Section 1): a problem solvable
+    in [T] rounds yields, after one [R] (or [R̄]) application, a problem
+    solvable in [T - 1/2] rounds (one full round per [R̄∘R] pair). If
+    after [t] pairs the problem is still not zero-round solvable, the
+    original problem needs more than [t] rounds. If the problem is a
+    fixed point, no finite number of applications ever reaches
+    zero-round solvability — the [Ω(log n)]-type bounds. *)
+
+val zero_round_solvable : problem -> bool
+(** Whether the problem can be solved with no communication on
+    [Δ]-regular trees with adversarial port numbers: some node
+    configuration [{x₁, ..., x_Δ} ∈ N] has every pair [{x_i, x_j}]
+    (including [i = j], for two adjacent nodes making the same choice)
+    in the edge constraint. *)
+
+type lower_bound_outcome =
+  | Zero_round_after of int
+      (** zero-round solvable after this many [R̄∘R] pairs: the problem's
+          deterministic complexity is at most that many rounds (and the
+          loop proves a matching "needs more than t-1" statement). *)
+  | Fixed_point_at of int
+      (** the sequence became periodic without reaching zero-round
+          solvability: an unbounded-[T] lower bound of the
+          sinkless-orientation kind. *)
+  | Still_growing of int
+      (** gave up after this many pairs with the alphabet growing — the
+          MIS-like regime where bounds require quantitative potential
+          arguments. *)
+
+val lower_bound_loop : ?max_pairs:int -> ?max_alphabet:int -> problem -> lower_bound_outcome
+(** Run the loop (defaults: 4 pairs, alphabet cap 12 — the subset
+    construction is exponential). *)

@@ -1,0 +1,74 @@
+let kw_to_delta_plus_one ~neighbors ~nodes ~colors ~palette ~delta =
+  let target = delta + 1 in
+  let rounds = ref 0 in
+  let pal = ref palette in
+  let recolored = Array.make (Array.length colors) false in
+  while !pal > target do
+    let block = 2 * target in
+    let nblocks = (!pal + block - 1) / block in
+    (* One phase: offsets 0 .. block-1 scheduled one per round; all blocks
+       work in parallel. A node's new color is (its block, a slot below
+       target) — collisions are only possible with same-block neighbors
+       that already recolored in this phase, because later nodes will in
+       turn avoid it. *)
+    List.iter (fun v -> recolored.(v) <- false) nodes;
+    let block_of = Array.copy colors in
+    List.iter (fun v -> block_of.(v) <- colors.(v) / block) nodes;
+    for off = 0 to block - 1 do
+      incr rounds;
+      List.iter
+        (fun v ->
+          if (not recolored.(v)) && colors.(v) mod block = off then begin
+            let used = Array.make target false in
+            List.iter
+              (fun u ->
+                if recolored.(u) && block_of.(u) = block_of.(v) then
+                  used.(colors.(u) mod target) <- true)
+              (neighbors v);
+            let rec first x =
+              if x >= target then
+                invalid_arg "Reduce.kw: delta below maximum degree"
+              else if used.(x) then first (x + 1)
+              else x
+            in
+            colors.(v) <- (block_of.(v) * target) + first 0;
+            recolored.(v) <- true
+          end)
+        nodes
+    done;
+    pal := nblocks * target
+  done;
+  (!pal, !rounds)
+
+let to_bound ~neighbors ~nodes ~colors ~palette ~bound =
+  (* Bucket nodes by their current color: a node recolors at most once
+     (always downward, below its bound), so each bucket is visited once.
+     The LOCAL round count is still [palette] — one scheduled round per
+     class — the bucketing only speeds up the simulation. *)
+  let buckets = Array.make palette [] in
+  List.iter
+    (fun v ->
+      let c = colors.(v) in
+      if c < 0 || c >= palette then invalid_arg "Reduce.to_bound: color out of palette";
+      buckets.(c) <- v :: buckets.(c))
+    nodes;
+  for c = palette - 1 downto 0 do
+    List.iter
+      (fun v ->
+        if colors.(v) = c && c >= bound v then begin
+          let b = bound v in
+          let used = Array.make b false in
+          List.iter
+            (fun u -> if colors.(u) < b then used.(colors.(u)) <- true)
+            (neighbors v);
+          let rec first x =
+            if x >= b then
+              invalid_arg "Reduce.to_bound: bound smaller than degree + 1"
+            else if used.(x) then first (x + 1)
+            else x
+          in
+          colors.(v) <- first 0
+        end)
+      buckets.(c)
+  done;
+  palette

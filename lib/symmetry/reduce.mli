@@ -1,0 +1,36 @@
+(** Color-reduction schedules below the Linial fixed point.
+
+    {!kw_to_delta_plus_one} is the Kuhn-Wattenhofer block-parallel
+    reduction: the palette is cut into blocks of [2(Δ+1)] colors, every
+    block is reduced to [Δ+1] colors in parallel by a one-class-per-round
+    greedy pass, and the process repeats — halving the palette every
+    [2(Δ+1)] rounds, for [O(Δ log (K / Δ))] rounds in total.
+
+    {!to_bound} is the plain one-color-class-per-round greedy reduction
+    ([K] rounds), used for the final pass to per-node bounds such as
+    [deg + 1] (empty classes still occupy a slot in the schedule — nodes
+    only know [K], not which classes are inhabited). *)
+
+val kw_to_delta_plus_one :
+  neighbors:(int -> int list) ->
+  nodes:int list ->
+  colors:int array ->
+  palette:int ->
+  delta:int ->
+  int * int
+(** Reduce a proper coloring to the palette [0 .. delta] in place;
+    [delta] must be at least the maximum degree of the communication
+    graph. Returns [(final_palette, rounds)] with
+    [final_palette = delta + 1]. *)
+
+val to_bound :
+  neighbors:(int -> int list) ->
+  nodes:int list ->
+  colors:int array ->
+  palette:int ->
+  bound:(int -> int) ->
+  int
+(** Reduce in place so that each node [v]'s final color lies in
+    [0 .. bound v - 1]; requires [bound v >= degree v + 1] (there is
+    always a free color). Returns the number of rounds charged
+    ([palette]). *)

@@ -1,0 +1,322 @@
+(* Tests for the decompositions: Algorithm 1 (rake-and-compress) with the
+   Lemma 9/10/11 certificates, and Algorithm 3 with the Lemma 13/14 and
+   star certificates. *)
+
+module Graph = Tl_graph.Graph
+module Gen = Tl_graph.Gen
+module Props = Tl_graph.Props
+module Semi_graph = Tl_graph.Semi_graph
+module Ids = Tl_local.Ids
+module RC = Tl_decompose.Rake_compress
+module AD = Tl_decompose.Arb_decompose
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---------- Rake-and-compress ---------- *)
+
+let rc_of ?(k = 3) (n, seed) =
+  let tree = Gen.random_tree ~n ~seed in
+  (tree, RC.run tree ~k ~ids:(Ids.permuted ~n ~seed:(seed + 1)))
+
+let test_rc_marks_everything () =
+  List.iter
+    (fun spec ->
+      let tree, rc = rc_of spec in
+      ignore tree;
+      check "lemma 9" true (RC.check_lemma9 rc))
+    [ (1, 0); (2, 1); (50, 2); (500, 3); (2000, 4) ]
+
+let test_rc_path_is_all_compress () =
+  (* on a path with k >= 2 every node is compressed in iteration 1 *)
+  let tree = Gen.path 20 in
+  let rc = RC.run tree ~k:3 ~ids:(Ids.identity 20) in
+  check_int "one iteration" 1 (RC.iterations rc);
+  List.iter
+    (fun v ->
+      check "compressed" true (RC.mark rc v = RC.Compressed 1))
+    (List.init 20 Fun.id)
+
+let test_rc_star_rakes_leaves () =
+  (* star with high-degree center and k = 3: leaves rake, center follows *)
+  let tree = Gen.star 20 in
+  let rc = RC.run tree ~k:3 ~ids:(Ids.identity 20) in
+  check "leaf raked" true (RC.mark rc 5 = RC.Raked 1);
+  check "center in later layer" true (RC.layer_index rc 0 > RC.layer_index rc 5)
+
+let test_rc_total_order () =
+  let tree, rc = rc_of (100, 7) in
+  (* the order is total and antisymmetric *)
+  for u = 0 to 99 do
+    for v = 0 to 99 do
+      if u <> v then
+        check "antisymmetry" true (RC.is_higher rc u v <> RC.is_higher rc v u)
+    done
+  done;
+  Graph.iter_edges
+    (fun e _ ->
+      let hi = RC.higher_endpoint rc e and lo = RC.lower_endpoint rc e in
+      check "endpoints differ" true (hi <> lo);
+      check "hi is higher" true (RC.is_higher rc hi lo))
+    tree
+
+let test_rc_lemma10 () =
+  List.iter
+    (fun (spec, k) ->
+      let tree, rc =
+        let n, seed = spec in
+        let tree = Gen.random_tree ~n ~seed in
+        (tree, RC.run tree ~k ~ids:(Ids.permuted ~n ~seed:(seed + 1)))
+      in
+      ignore tree;
+      check "lemma 10" true (RC.check_lemma10 rc);
+      check "T_C underlying degree" true
+        (Semi_graph.max_underlying_degree (RC.t_c rc) <= k))
+    [ ((200, 8), 2); ((200, 9), 3); ((500, 10), 5); ((1000, 11), 8) ]
+
+let test_rc_lemma11 () =
+  List.iter
+    (fun spec ->
+      let _, rc = rc_of spec in
+      check "lemma 11" true (RC.check_lemma11 rc))
+    [ (50, 12); (300, 13); (1500, 14) ]
+
+let test_rc_balanced_tree () =
+  (* the lower-bound instances: balanced Δ-regular trees *)
+  List.iter
+    (fun (delta, n, k) ->
+      let tree = Gen.balanced_regular_tree ~delta ~n in
+      let rc = RC.run tree ~k ~ids:(Ids.identity n) in
+      check "lemma 9" true (RC.check_lemma9 rc);
+      check "lemma 10" true (RC.check_lemma10 rc);
+      check "lemma 11" true (RC.check_lemma11 rc))
+    [ (3, 100, 2); (4, 300, 3); (6, 500, 4) ]
+
+let test_rc_partition () =
+  let _, rc = rc_of (150, 15) in
+  let c = List.length (RC.compressed_nodes rc) in
+  let r = List.length (RC.raked_nodes rc) in
+  check_int "partition" 150 (c + r)
+
+let test_rc_tc_tr_structure () =
+  let tree, rc = rc_of (80, 16) in
+  let t_c = RC.t_c rc in
+  let t_r = RC.t_r rc in
+  (* every edge of the tree is present in T_C or T_R (or both) *)
+  Graph.iter_edges
+    (fun e _ ->
+      check "edge present somewhere" true
+        (Semi_graph.edge_present t_c e || Semi_graph.edge_present t_r e))
+    tree;
+  (* half-edges are partitioned between T_C and T_R *)
+  for h = 0 to Graph.n_half_edges tree - 1 do
+    let in_c = Semi_graph.half_edge_present t_c h in
+    let in_r = Semi_graph.half_edge_present t_r h in
+    check "half-edge in exactly one part" true (in_c <> in_r)
+  done
+
+let test_rc_rejects () =
+  check "k < 2" true
+    (try RC.run (Gen.path 3) ~k:1 ~ids:(Ids.identity 3) |> ignore; false
+     with Invalid_argument _ -> true);
+  check "non-forest" true
+    (try RC.run (Gen.cycle 5) ~k:3 ~ids:(Ids.identity 5) |> ignore; false
+     with Invalid_argument _ -> true)
+
+let test_rc_on_forest () =
+  let f = Gen.random_forest ~n:200 ~trees:6 ~seed:20 in
+  let rc = RC.run f ~k:3 ~ids:(Ids.permuted ~n:200 ~seed:21) in
+  check "lemma 9 on forest" true (RC.check_lemma9 rc);
+  check "lemma 10 on forest" true (RC.check_lemma10 rc);
+  check "lemma 11 on forest" true (RC.check_lemma11 rc)
+
+(* ---------- Arboricity decomposition ---------- *)
+
+let ad_of ~a ~k (n, seed) =
+  let g =
+    if a = 1 then Gen.random_tree ~n ~seed
+    else Gen.forest_union ~n ~arboricity:a ~seed
+  in
+  (g, AD.run g ~a ~k ~ids:(Ids.permuted ~n ~seed:(seed + 1)))
+
+let test_ad_marks_everything () =
+  List.iter
+    (fun (spec, a, k) ->
+      let _, d = ad_of ~a ~k spec in
+      check "lemma 13" true (AD.check_lemma13 d);
+      check "all layers positive" true
+        (List.for_all (fun v -> AD.layer d v >= 1)
+           (List.init (fst spec) Fun.id)))
+    [ ((1, 0), 1, 5); ((100, 1), 1, 5); ((200, 2), 2, 10); ((400, 3), 3, 15) ]
+
+let test_ad_lemma14 () =
+  List.iter
+    (fun (spec, a, k) ->
+      let _, d = ad_of ~a ~k spec in
+      check "lemma 14" true (AD.check_lemma14 d);
+      check "typical degree direct" true (AD.typical_max_degree d <= k))
+    [ ((300, 4), 1, 5); ((300, 5), 2, 10); ((600, 6), 3, 20) ]
+
+let test_ad_atypical_bound () =
+  List.iter
+    (fun (spec, a, k) ->
+      let _, d = ad_of ~a ~k spec in
+      check "atypical <= 2a" true (AD.check_atypical_bound d))
+    [ ((300, 7), 2, 10); ((500, 8), 3, 15) ]
+
+let test_ad_forests_and_stars () =
+  List.iter
+    (fun (spec, a, k) ->
+      let _, d = ad_of ~a ~k spec in
+      check "forests" true (AD.check_forests d);
+      check "stars" true (AD.check_stars d))
+    [ ((200, 9), 2, 10); ((400, 10), 3, 15); ((150, 11), 1, 5) ]
+
+let test_ad_edge_partition () =
+  let g, d = ad_of ~a:2 ~k:10 (250, 12) in
+  let typical = List.length (AD.typical_edges d) in
+  let atypical = List.length (AD.atypical_edges d) in
+  check_int "partition of edges" (Graph.n_edges g) (typical + atypical);
+  (* every atypical edge belongs to exactly one F_{i,j} class *)
+  List.iter
+    (fun e ->
+      let i, j = AD.star_class d e in
+      check "class assigned" true (i >= 1 && i <= AD.b d && j >= 1 && j <= 3))
+    (AD.atypical_edges d);
+  List.iter
+    (fun e -> check "typical unassigned" true (AD.star_class d e = (0, 0)))
+    (AD.typical_edges d)
+
+let test_ad_stars_cover_atypical () =
+  let _, d = ad_of ~a:2 ~k:10 (250, 13) in
+  let covered = ref 0 in
+  for i = 1 to AD.b d do
+    for j = 1 to 3 do
+      List.iter
+        (fun (_, edges) -> covered := !covered + List.length edges)
+        (AD.stars d ~i ~j)
+    done
+  done;
+  check_int "stars cover atypical edges" (List.length (AD.atypical_edges d)) !covered
+
+let test_ad_g_e2 () =
+  let g, d = ad_of ~a:2 ~k:10 (250, 14) in
+  ignore g;
+  let sg = AD.g_e2 d in
+  check "rank 2 everywhere" true
+    (List.for_all (fun e -> Semi_graph.rank sg e = 2) (Semi_graph.edges sg));
+  check "degree bound" true (Semi_graph.max_underlying_degree sg <= AD.k d)
+
+let test_ad_planar () =
+  let g = Gen.triangulated_grid 12 in
+  let n = Graph.n_nodes g in
+  let d = AD.run g ~a:3 ~k:15 ~ids:(Ids.permuted ~n ~seed:15) in
+  check "lemma 13" true (AD.check_lemma13 d);
+  check "lemma 14" true (AD.check_lemma14 d);
+  check "stars" true (AD.check_stars d)
+
+let test_ad_orientation_corollary () =
+  List.iter
+    (fun (spec, a, k) ->
+      let g, d = ad_of ~a ~k spec in
+      check "acyclic, out-degree <= k" true (AD.check_acyclic_orientation d);
+      let orientation = AD.out_degree_orientation d in
+      check_int "orientation covers all edges" (Graph.n_edges g)
+        (Array.length orientation))
+    [ ((200, 15), 2, 10); ((400, 16), 3, 15); ((150, 17), 1, 5) ];
+  (* hub-heavy instance: the bound k is actually stressed *)
+  let g = Gen.power_law_union ~n:2000 ~arboricity:2 ~seed:18 in
+  let d = AD.run g ~a:2 ~k:10 ~ids:(Ids.permuted ~n:2000 ~seed:19) in
+  check "hub orientation" true (AD.check_acyclic_orientation d);
+  check "out degree positive" true (AD.max_out_degree d >= 1)
+
+let test_ad_rejects () =
+  check "a < 1" true
+    (try AD.run (Gen.path 3) ~a:0 ~k:5 ~ids:(Ids.identity 3) |> ignore; false
+     with Invalid_argument _ -> true);
+  check "k < 5a" true
+    (try AD.run (Gen.path 3) ~a:2 ~k:9 ~ids:(Ids.identity 3) |> ignore; false
+     with Invalid_argument _ -> true)
+
+let test_ad_dense_graph_fails_gracefully () =
+  (* a clique has arboricity ~ n/2; claiming a = 1 must be caught by the
+     Lemma 13 iteration guard rather than looping forever *)
+  let g = Gen.complete 30 in
+  check "guard fires" true
+    (try AD.run g ~a:1 ~k:5 ~ids:(Ids.identity 30) |> ignore; false
+     with Failure _ -> true)
+
+(* ---------- qcheck properties ---------- *)
+
+let prop_rc_certificates =
+  QCheck.Test.make ~name:"rake-and-compress certificates on random trees"
+    ~count:40
+    QCheck.(triple (int_range 1 300) (int_range 2 10) (int_range 0 100000))
+    (fun (n, k, seed) ->
+      let tree = Gen.random_tree ~n ~seed in
+      let rc = RC.run tree ~k ~ids:(Ids.permuted ~n ~seed:(seed + 1)) in
+      RC.check_lemma9 rc && RC.check_lemma10 rc && RC.check_lemma11 rc)
+
+let prop_rc_halfedge_partition =
+  QCheck.Test.make ~name:"T_C/T_R half-edge partition" ~count:30
+    QCheck.(pair (int_range 2 200) (int_range 0 100000))
+    (fun (n, seed) ->
+      let tree = Gen.random_tree ~n ~seed in
+      let rc = RC.run tree ~k:3 ~ids:(Ids.permuted ~n ~seed:(seed + 1)) in
+      let t_c = RC.t_c rc and t_r = RC.t_r rc in
+      let ok = ref true in
+      for h = 0 to Graph.n_half_edges tree - 1 do
+        if Semi_graph.half_edge_present t_c h = Semi_graph.half_edge_present t_r h
+        then ok := false
+      done;
+      !ok)
+
+let prop_ad_certificates =
+  QCheck.Test.make ~name:"Algorithm 3 certificates on arboricity-a graphs"
+    ~count:30
+    QCheck.(
+      quad (int_range 2 200) (int_range 1 4) (int_range 0 3) (int_range 0 100000))
+    (fun (n, a, kslack, seed) ->
+      let g = Gen.forest_union ~n ~arboricity:a ~seed in
+      let k = (5 * a) + (kslack * a) in
+      let d = AD.run g ~a ~k ~ids:(Ids.permuted ~n ~seed:(seed + 1)) in
+      AD.check_lemma13 d && AD.check_lemma14 d && AD.check_atypical_bound d
+      && AD.check_forests d && AD.check_stars d)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_rc_certificates; prop_rc_halfedge_partition; prop_ad_certificates ]
+
+let () =
+  Alcotest.run "tl_decompose"
+    [
+      ( "rake_compress",
+        [
+          Alcotest.test_case "lemma 9" `Quick test_rc_marks_everything;
+          Alcotest.test_case "path compresses" `Quick test_rc_path_is_all_compress;
+          Alcotest.test_case "star rakes" `Quick test_rc_star_rakes_leaves;
+          Alcotest.test_case "total order" `Quick test_rc_total_order;
+          Alcotest.test_case "lemma 10" `Quick test_rc_lemma10;
+          Alcotest.test_case "lemma 11" `Quick test_rc_lemma11;
+          Alcotest.test_case "balanced regular trees" `Quick test_rc_balanced_tree;
+          Alcotest.test_case "partition" `Quick test_rc_partition;
+          Alcotest.test_case "T_C / T_R structure" `Quick test_rc_tc_tr_structure;
+          Alcotest.test_case "input validation" `Quick test_rc_rejects;
+          Alcotest.test_case "forests accepted" `Quick test_rc_on_forest;
+        ] );
+      ( "arb_decompose",
+        [
+          Alcotest.test_case "lemma 13" `Quick test_ad_marks_everything;
+          Alcotest.test_case "lemma 14" `Quick test_ad_lemma14;
+          Alcotest.test_case "atypical bound" `Quick test_ad_atypical_bound;
+          Alcotest.test_case "forests and stars" `Quick test_ad_forests_and_stars;
+          Alcotest.test_case "edge partition" `Quick test_ad_edge_partition;
+          Alcotest.test_case "stars cover atypical" `Quick test_ad_stars_cover_atypical;
+          Alcotest.test_case "G[E2] structure" `Quick test_ad_g_e2;
+          Alcotest.test_case "orientation corollary" `Quick test_ad_orientation_corollary;
+          Alcotest.test_case "planar instance" `Quick test_ad_planar;
+          Alcotest.test_case "input validation" `Quick test_ad_rejects;
+          Alcotest.test_case "bad arboricity guard" `Quick test_ad_dense_graph_fails_gracefully;
+        ] );
+      ("properties", qcheck_tests);
+    ]

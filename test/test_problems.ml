@@ -1,0 +1,520 @@
+(* Tests for the node-edge-checkable formalism and the concrete problems. *)
+
+module Graph = Tl_graph.Graph
+module Gen = Tl_graph.Gen
+module Props = Tl_graph.Props
+module Semi_graph = Tl_graph.Semi_graph
+module Labeling = Tl_problems.Labeling
+module Nec = Tl_problems.Nec
+module Mis = Tl_problems.Mis
+module Coloring = Tl_problems.Coloring
+module Matching = Tl_problems.Matching
+module Edge_coloring = Tl_problems.Edge_coloring
+module Orientation = Tl_problems.Orientation
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let tree_of (n, seed) = Gen.random_tree ~n ~seed
+
+(* ---------- Labeling ---------- *)
+
+let test_labeling_basics () =
+  let g = Gen.path 3 in
+  let l = Labeling.create g in
+  check_int "unlabeled" 4 (Labeling.unlabeled_count l);
+  check "not complete" false (Labeling.complete l);
+  Labeling.set l 0 "x";
+  check "labeled" true (Labeling.is_labeled l 0);
+  check "get" true (Labeling.get l 0 = Some "x");
+  check "double set raises" true
+    (try Labeling.set l 0 "y"; false with Invalid_argument _ -> true);
+  Labeling.set_exn_free l 0 "y";
+  check "override" true (Labeling.get l 0 = Some "y");
+  check "labels at node" true (Labeling.labels_at_node l 0 = [ "y" ]);
+  Labeling.set l 1 "z";
+  check "labels at edge" true (Labeling.labels_at_edge l 0 = [ "y"; "z" ]);
+  check "node 0 fully labeled" true (Labeling.node_fully_labeled l 0);
+  check "node 1 not fully labeled" false (Labeling.node_fully_labeled l 1);
+  let l' = Labeling.copy l in
+  Labeling.set l' 2 "w";
+  check "copy independent" false (Labeling.is_labeled l 2)
+
+(* ---------- Validator machinery ---------- *)
+
+let test_validate_reports_missing () =
+  let g = Gen.path 3 in
+  let l = Labeling.create g in
+  let violations = Nec.validate Mis.problem g l in
+  check_int "4 missing half-edges" 4
+    (List.length
+       (List.filter
+          (function Nec.Missing_half_edge _ -> true | _ -> false)
+          violations))
+
+let test_validate_node_violation () =
+  let g = Gen.path 2 in
+  let l = Labeling.create g in
+  (* both endpoints point P at each other: edge violation and node ok? A
+     single P with no O is a legal node config; {P,P} is an illegal edge. *)
+  Labeling.set l 0 Mis.P;
+  Labeling.set l 1 Mis.P;
+  let violations = Nec.validate Mis.problem g l in
+  check "has edge violation" true
+    (List.exists (function Nec.Edge_violation _ -> true | _ -> false) violations)
+
+let test_validate_semi_ignores_absent () =
+  let g = Gen.path 3 in
+  let sg = Semi_graph.of_node_subset g [| true; false; false |] in
+  let l = Labeling.create g in
+  (* only half-edge (0, edge 01) is present; label it M *)
+  Labeling.set l (Graph.half_edge g ~edge:0 ~node:0) Mis.M;
+  check "valid on semi" true (Nec.validate_semi Mis.problem sg l = []);
+  check "invalid on full graph" false (Nec.validate Mis.problem g l = [])
+
+let test_multiset_equal () =
+  check "perm" true (Nec.multiset_equal ( = ) [ 1; 2; 2 ] [ 2; 1; 2 ]);
+  check "diff" false (Nec.multiset_equal ( = ) [ 1; 2 ] [ 2; 2 ]);
+  check "len" false (Nec.multiset_equal ( = ) [ 1 ] [ 1; 1 ]);
+  check "empty" true (Nec.multiset_equal ( = ) [] [])
+
+(* ---------- MIS ---------- *)
+
+let test_mis_node_constraint () =
+  check "all M" true (Mis.problem.Nec.node_ok [ Mis.M; Mis.M ]);
+  check "empty" true (Mis.problem.Nec.node_ok []);
+  check "one P rest O" true (Mis.problem.Nec.node_ok [ Mis.O; Mis.P; Mis.O ]);
+  check "two P" false (Mis.problem.Nec.node_ok [ Mis.P; Mis.P ]);
+  check "all O" false (Mis.problem.Nec.node_ok [ Mis.O; Mis.O ]);
+  check "M and O mixed" false (Mis.problem.Nec.node_ok [ Mis.M; Mis.O ])
+
+let test_mis_edge_constraint () =
+  check "MP" true (Mis.problem.Nec.edge_ok [ Mis.M; Mis.P ]);
+  check "MO" true (Mis.problem.Nec.edge_ok [ Mis.O; Mis.M ]);
+  check "OO" true (Mis.problem.Nec.edge_ok [ Mis.O; Mis.O ]);
+  check "MM" false (Mis.problem.Nec.edge_ok [ Mis.M; Mis.M ]);
+  check "PO" false (Mis.problem.Nec.edge_ok [ Mis.P; Mis.O ]);
+  check "PP" false (Mis.problem.Nec.edge_ok [ Mis.P; Mis.P ]);
+  check "rank1 M" true (Mis.problem.Nec.edge_ok [ Mis.M ]);
+  check "rank1 O" true (Mis.problem.Nec.edge_ok [ Mis.O ]);
+  check "rank1 P forbidden" false (Mis.problem.Nec.edge_ok [ Mis.P ]);
+  check "rank0" true (Mis.problem.Nec.edge_ok [])
+
+let test_mis_encode_decode () =
+  let g = Gen.path 5 in
+  let set = [| true; false; true; false; true |] in
+  let l = Mis.encode g set in
+  check "valid" true (Nec.is_valid Mis.problem g l);
+  check "roundtrip" true (Mis.decode g l = set);
+  check "bad set raises" true
+    (try Mis.encode g [| true; true; false; false; false |] |> ignore; false
+     with Invalid_argument _ -> true)
+
+let test_mis_solve_sequential () =
+  List.iter
+    (fun spec ->
+      let g = tree_of spec in
+      let l = Mis.solve_sequential g in
+      check "valid" true (Nec.is_valid Mis.problem g l);
+      check "maximal" true
+        (Props.is_maximal_independent_set g (Mis.decode g l)))
+    [ (1, 0); (2, 1); (30, 2); (100, 3) ]
+
+let test_mis_solve_with_boundary () =
+  (* path 0-1-2: fix node 0's half-edge to M (as if a previous phase put 0
+     in the MIS), then complete nodes 1 and 2 *)
+  let g = Gen.path 3 in
+  let l = Labeling.create g in
+  Labeling.set l (Graph.half_edge g ~edge:0 ~node:0) Mis.M;
+  Mis.solve_edge_list g l ~nodes:[ 1; 2 ];
+  (* node 1 must not join (M neighbor), node 2 must join *)
+  check "1 not in mis" true (List.exists (( <> ) Mis.M) (Labeling.labels_at_node l 1));
+  check "2 in mis" true (List.for_all (( = ) Mis.M) (Labeling.labels_at_node l 2));
+  (* all constraints hold except node 0 (which is only partially labeled
+     from the full graph's perspective: its solitary half-edge is fine) *)
+  check "complete" true (Labeling.complete l)
+
+(* ---------- Coloring ---------- *)
+
+let test_coloring_constraints () =
+  let p = Coloring.problem_deg_plus_one in
+  check "same colors" true (p.Nec.node_ok [ 2; 2; 2 ]);
+  check "palette bound" false (p.Nec.node_ok [ 5; 5; 5 ]);
+  check "mixed" false (p.Nec.node_ok [ 1; 2 ]);
+  check "empty" true (p.Nec.node_ok []);
+  check "edge differ" true (p.Nec.edge_ok [ 1; 2 ]);
+  check "edge clash" false (p.Nec.edge_ok [ 3; 3 ]);
+  let q = Coloring.problem_delta_plus_one ~delta:3 in
+  check "delta palette ok" true (q.Nec.node_ok [ 4 ]);
+  check "delta palette exceeded" false (q.Nec.node_ok [ 5 ])
+
+let test_coloring_encode_decode () =
+  let g = Gen.star 4 in
+  let colors = [| 1; 2; 2; 2 |] in
+  let l = Coloring.encode g colors in
+  check "valid" true (Nec.is_valid Coloring.problem_deg_plus_one g l);
+  check "decode" true (Coloring.decode g l = colors)
+
+let test_coloring_solver () =
+  List.iter
+    (fun spec ->
+      let g = tree_of spec in
+      let l = Coloring.solve_sequential g in
+      check "valid" true (Nec.is_valid Coloring.problem_deg_plus_one g l);
+      check "proper" true (Props.is_proper_coloring g (Coloring.decode g l)))
+    [ (1, 0); (2, 5); (60, 6); (200, 7) ]
+
+let test_coloring_respects_boundary () =
+  let g = Gen.path 3 in
+  let l = Labeling.create g in
+  (* fix node 0's color to 1 *)
+  Labeling.set l (Graph.half_edge g ~edge:0 ~node:0) 1;
+  Coloring.solve_edge_list g l ~nodes:[ 1; 2 ];
+  let c1 = match Labeling.labels_at_node l 1 with c :: _ -> c | [] -> -1 in
+  check "node 1 avoids 1" true (c1 <> 1)
+
+(* ---------- Matching ---------- *)
+
+let test_matching_constraints () =
+  let p = Matching.problem in
+  check "one M" true (p.Nec.node_ok [ Matching.M; Matching.P; Matching.D ]);
+  check "two M" false (p.Nec.node_ok [ Matching.M; Matching.M ]);
+  check "all O/D" true (p.Nec.node_ok [ Matching.O; Matching.D ]);
+  check "P without M" false (p.Nec.node_ok [ Matching.P; Matching.O ]);
+  check "MM edge" true (p.Nec.edge_ok [ Matching.M; Matching.M ]);
+  check "PO edge" true (p.Nec.edge_ok [ Matching.P; Matching.O ]);
+  check "PP edge" true (p.Nec.edge_ok [ Matching.P; Matching.P ]);
+  check "OO edge (maximality)" false (p.Nec.edge_ok [ Matching.O; Matching.O ]);
+  check "MO edge" false (p.Nec.edge_ok [ Matching.M; Matching.O ]);
+  check "MP edge" false (p.Nec.edge_ok [ Matching.M; Matching.P ]);
+  check "rank1 D" true (p.Nec.edge_ok [ Matching.D ]);
+  check "rank1 M" false (p.Nec.edge_ok [ Matching.M ])
+
+let test_matching_encode_decode () =
+  let g = Gen.path 4 in
+  let m = [| true; false; true |] in
+  let l = Matching.encode g m in
+  check "valid" true (Nec.is_valid Matching.problem g l);
+  check "decode" true (Matching.decode g l = m)
+
+let test_matching_solver () =
+  List.iter
+    (fun spec ->
+      let g = tree_of spec in
+      let l = Matching.solve_sequential g in
+      check "valid" true (Nec.is_valid Matching.problem g l);
+      check "maximal" true (Props.is_maximal_matching g (Matching.decode g l)))
+    [ (2, 0); (30, 8); (150, 9) ]
+
+let test_matching_lemma17_cases () =
+  (* star with 3 leaves: center matched once, other edges P/O *)
+  let g = Gen.star 4 in
+  let l = Labeling.create g in
+  Matching.solve_node_list g l ~edges:[ 0; 1; 2 ];
+  check "valid" true (Nec.is_valid Matching.problem g l);
+  let m = Matching.decode g l in
+  check_int "exactly one matched" 1
+    (Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 m)
+
+(* ---------- Edge coloring ---------- *)
+
+let test_edge_coloring_constraints () =
+  let p = Edge_coloring.problem in
+  check "node ok" true
+    (p.Nec.node_ok [ Edge_coloring.Pair (1, 3); Edge_coloring.Pair (2, 1) ]);
+  check "degree part too big" false
+    (p.Nec.node_ok [ Edge_coloring.Pair (3, 1); Edge_coloring.Pair (1, 2) ]);
+  check "color clash" false
+    (p.Nec.node_ok [ Edge_coloring.Pair (1, 2); Edge_coloring.Pair (2, 2) ]);
+  check "D ignored in count" true
+    (p.Nec.node_ok [ Edge_coloring.Pair (1, 1); Edge_coloring.D ]);
+  check "edge ok" true
+    (p.Nec.edge_ok [ Edge_coloring.Pair (2, 3); Edge_coloring.Pair (2, 3) ]);
+  check "palette certificate" false
+    (p.Nec.edge_ok [ Edge_coloring.Pair (1, 3); Edge_coloring.Pair (1, 3) ]);
+  check "color mismatch" false
+    (p.Nec.edge_ok [ Edge_coloring.Pair (2, 3); Edge_coloring.Pair (2, 4) ]);
+  check "rank1 D" true (p.Nec.edge_ok [ Edge_coloring.D ]);
+  check "rank1 pair" false (p.Nec.edge_ok [ Edge_coloring.Pair (1, 1) ])
+
+let test_edge_coloring_two_delta () =
+  let p = Edge_coloring.problem_two_delta ~delta:2 in
+  (* palette bound 2*2-1 = 3 *)
+  check "color 3 ok" true
+    (p.Nec.edge_ok [ Edge_coloring.Pair (2, 3); Edge_coloring.Pair (2, 3) ]);
+  check "color 4 too big" false
+    (p.Nec.edge_ok [ Edge_coloring.Pair (2, 4); Edge_coloring.Pair (3, 4) ])
+
+let test_edge_coloring_encode_decode () =
+  let g = Gen.path 4 in
+  let colors = [| 1; 2; 1 |] in
+  let l = Edge_coloring.encode g colors in
+  check "valid" true (Nec.is_valid Edge_coloring.problem g l);
+  check "decode" true (Edge_coloring.decode g l = colors);
+  check "out of palette raises" true
+    (try Edge_coloring.encode g [| 5; 2; 1 |] |> ignore; false
+     with Invalid_argument _ -> true)
+
+let test_edge_coloring_solver () =
+  List.iter
+    (fun spec ->
+      let g = tree_of spec in
+      let l = Edge_coloring.solve_sequential g in
+      check "valid" true (Nec.is_valid Edge_coloring.problem g l);
+      let colors = Edge_coloring.decode g l in
+      check "proper" true (Props.is_proper_edge_coloring g colors);
+      check "palette" true
+        (Graph.fold_edges
+           (fun e _ acc -> acc && colors.(e) <= Props.edge_degree g e + 1)
+           g true))
+    [ (2, 0); (40, 10); (150, 11) ]
+
+(* ---------- Orientation ---------- *)
+
+let test_orientation_constraints () =
+  let p = Orientation.problem in
+  check "deg2 all in ok" true (p.Nec.node_ok [ Orientation.In; Orientation.In ]);
+  check "deg3 all in bad" false
+    (p.Nec.node_ok [ Orientation.In; Orientation.In; Orientation.In ]);
+  check "deg3 one out" true
+    (p.Nec.node_ok [ Orientation.In; Orientation.Out; Orientation.In ]);
+  check "edge consistent" true (p.Nec.edge_ok [ Orientation.In; Orientation.Out ]);
+  check "edge both out" false (p.Nec.edge_ok [ Orientation.Out; Orientation.Out ])
+
+let test_orientation_solver () =
+  List.iter
+    (fun g ->
+      let l = Orientation.solve_sequential g in
+      check "valid" true (Nec.is_valid Orientation.problem g l))
+    [
+      Gen.random_tree ~n:50 ~seed:3;
+      Gen.cycle 7;
+      Gen.complete 5;
+      Gen.triangulated_grid 5;
+      Gen.star 6;
+      Gen.grid 4 4;
+    ]
+
+(* ---------- qcheck properties ---------- *)
+
+let arb_tree =
+  QCheck.(pair (int_range 1 150) (int_range 0 100000))
+
+let prop_mis_solver_valid =
+  QCheck.Test.make ~name:"sequential MIS is valid and maximal" ~count:100
+    arb_tree
+    (fun spec ->
+      let g = tree_of spec in
+      let l = Mis.solve_sequential g in
+      Nec.is_valid Mis.problem g l
+      && Props.is_maximal_independent_set g (Mis.decode g l))
+
+let prop_matching_solver_valid =
+  QCheck.Test.make ~name:"sequential matching is valid and maximal" ~count:100
+    arb_tree
+    (fun spec ->
+      let g = tree_of spec in
+      let l = Matching.solve_sequential g in
+      Nec.is_valid Matching.problem g l
+      && Props.is_maximal_matching g (Matching.decode g l))
+
+let prop_edge_coloring_solver_valid =
+  QCheck.Test.make ~name:"sequential edge coloring is valid and proper"
+    ~count:100 arb_tree
+    (fun spec ->
+      let g = tree_of spec in
+      let l = Edge_coloring.solve_sequential g in
+      Nec.is_valid Edge_coloring.problem g l
+      && Props.is_proper_edge_coloring g (Edge_coloring.decode g l))
+
+let prop_coloring_solver_valid =
+  QCheck.Test.make ~name:"sequential coloring is valid and proper" ~count:100
+    arb_tree
+    (fun spec ->
+      let g = tree_of spec in
+      let l = Coloring.solve_sequential g in
+      Nec.is_valid Coloring.problem_deg_plus_one g l
+      && Props.is_proper_coloring g (Coloring.decode g l))
+
+let prop_solvers_on_arbitrary_graphs =
+  QCheck.Test.make ~name:"sequential solvers on bounded-arboricity graphs"
+    ~count:60
+    QCheck.(triple (int_range 2 80) (int_range 1 4) (int_range 0 100000))
+    (fun (n, a, seed) ->
+      let g = Gen.forest_union ~n ~arboricity:a ~seed in
+      Nec.is_valid Matching.problem g (Matching.solve_sequential g)
+      && Nec.is_valid Edge_coloring.problem g (Edge_coloring.solve_sequential g)
+      && Nec.is_valid Mis.problem g (Mis.solve_sequential g)
+      && Nec.is_valid Coloring.problem_deg_plus_one g (Coloring.solve_sequential g))
+
+let prop_encode_decode_roundtrip =
+  QCheck.Test.make ~name:"matching encode/decode roundtrip" ~count:60 arb_tree
+    (fun spec ->
+      let g = tree_of spec in
+      let m = Matching.decode g (Matching.solve_sequential g) in
+      Matching.decode g (Matching.encode g m) = m)
+
+(* ---------- failure injection: validator soundness ----------
+
+   Corrupt one half-edge of a valid solution with a random different
+   label. A corruption may happen to produce another valid labeling (the
+   encodings are not unique), but then it must decode to a semantically
+   correct solution: "validator-valid implies referee-correct" is exactly
+   the Section 5 equivalence between the node-edge-checkable encodings
+   and the classic problems. *)
+
+let corrupt_one g labeling alternatives rng =
+  let h = Tl_graph.Gen.Prng.int rng (Graph.n_half_edges g) in
+  let current = Labeling.get labeling h in
+  let others = List.filter (fun l -> Some l <> current) alternatives in
+  let l = List.nth others (Tl_graph.Gen.Prng.int rng (List.length others)) in
+  Labeling.set_exn_free labeling h l;
+  labeling
+
+let prop_mis_validator_sound =
+  QCheck.Test.make ~name:"corrupted MIS: valid => referee-correct" ~count:200
+    QCheck.(pair (int_range 2 80) (int_range 0 100000))
+    (fun (n, seed) ->
+      let g = tree_of (n, seed) in
+      let rng = Tl_graph.Gen.Prng.create (seed + 17) in
+      let l = corrupt_one g (Mis.solve_sequential g) [ Mis.M; Mis.P; Mis.O ] rng in
+      (not (Nec.is_valid Mis.problem g l))
+      || Props.is_maximal_independent_set g (Mis.decode g l))
+
+let prop_matching_validator_sound =
+  QCheck.Test.make ~name:"corrupted matching: valid => referee-correct"
+    ~count:200
+    QCheck.(pair (int_range 2 80) (int_range 0 100000))
+    (fun (n, seed) ->
+      let g = tree_of (n, seed) in
+      let rng = Tl_graph.Gen.Prng.create (seed + 19) in
+      let l =
+        corrupt_one g (Matching.solve_sequential g)
+          [ Matching.M; Matching.P; Matching.O; Matching.D ]
+          rng
+      in
+      (not (Nec.is_valid Matching.problem g l))
+      || Props.is_maximal_matching g (Matching.decode g l))
+
+let prop_coloring_validator_sound =
+  QCheck.Test.make ~name:"corrupted coloring: valid => referee-correct"
+    ~count:200
+    QCheck.(pair (int_range 2 80) (int_range 0 100000))
+    (fun (n, seed) ->
+      let g = tree_of (n, seed) in
+      let rng = Tl_graph.Gen.Prng.create (seed + 23) in
+      let l =
+        corrupt_one g (Coloring.solve_sequential g) [ 1; 2; 3; 4; 5 ] rng
+      in
+      (not (Nec.is_valid Coloring.problem_deg_plus_one g l))
+      || Props.is_proper_coloring g (Coloring.decode g l))
+
+let prop_edge_coloring_validator_sound =
+  QCheck.Test.make ~name:"corrupted edge coloring: valid => referee-correct"
+    ~count:200
+    QCheck.(pair (int_range 2 80) (int_range 0 100000))
+    (fun (n, seed) ->
+      let g = tree_of (n, seed) in
+      let rng = Tl_graph.Gen.Prng.create (seed + 29) in
+      let alternatives =
+        Edge_coloring.D
+        :: List.concat_map
+             (fun a -> List.map (fun b -> Edge_coloring.Pair (a, b)) [ 1; 2; 3 ])
+             [ 1; 2; 3 ]
+      in
+      let l = corrupt_one g (Edge_coloring.solve_sequential g) alternatives rng in
+      (not (Nec.is_valid Edge_coloring.problem g l))
+      || Props.is_proper_edge_coloring g (Edge_coloring.decode g l))
+
+let test_specific_corruptions_caught () =
+  (* a handful of canonical corruptions that must each be reported *)
+  let g = Gen.path 3 in
+  (* MIS: make both endpoints of an edge claim membership *)
+  let l = Labeling.create g in
+  List.iter (fun h -> Labeling.set_exn_free l h Mis.M) [ 0; 1; 2; 3 ];
+  check "double M caught" false (Nec.is_valid Mis.problem g l);
+  (* matching: an unmatched-unmatched edge (maximality violation) *)
+  let l = Labeling.create g in
+  List.iter (fun h -> Labeling.set_exn_free l h Matching.O) [ 0; 1; 2; 3 ];
+  check "O-O caught" false (Nec.is_valid Matching.problem g l);
+  (* coloring: same color across an edge *)
+  let l = Labeling.create g in
+  List.iter (fun h -> Labeling.set_exn_free l h 1) [ 0; 1; 2; 3 ];
+  check "monochromatic caught" false
+    (Nec.is_valid Coloring.problem_deg_plus_one g l);
+  (* edge coloring: palette certificate failure (1,3)+(1,3) *)
+  let l = Labeling.create g in
+  List.iter
+    (fun h -> Labeling.set_exn_free l h (Edge_coloring.Pair (1, 3)))
+    [ 0; 1; 2; 3 ];
+  check "palette violation caught" false
+    (Nec.is_valid Edge_coloring.problem g l)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_mis_solver_valid;
+      prop_matching_solver_valid;
+      prop_edge_coloring_solver_valid;
+      prop_coloring_solver_valid;
+      prop_solvers_on_arbitrary_graphs;
+      prop_encode_decode_roundtrip;
+      prop_mis_validator_sound;
+      prop_matching_validator_sound;
+      prop_coloring_validator_sound;
+      prop_edge_coloring_validator_sound;
+    ]
+
+let () =
+  Alcotest.run "tl_problems"
+    [
+      ( "labeling",
+        [ Alcotest.test_case "basics" `Quick test_labeling_basics ] );
+      ( "validator",
+        [
+          Alcotest.test_case "missing half edges" `Quick test_validate_reports_missing;
+          Alcotest.test_case "edge violations" `Quick test_validate_node_violation;
+          Alcotest.test_case "semi-graph scope" `Quick test_validate_semi_ignores_absent;
+          Alcotest.test_case "multiset equality" `Quick test_multiset_equal;
+        ] );
+      ( "mis",
+        [
+          Alcotest.test_case "node constraint" `Quick test_mis_node_constraint;
+          Alcotest.test_case "edge constraint" `Quick test_mis_edge_constraint;
+          Alcotest.test_case "encode/decode" `Quick test_mis_encode_decode;
+          Alcotest.test_case "sequential solver" `Quick test_mis_solve_sequential;
+          Alcotest.test_case "boundary completion" `Quick test_mis_solve_with_boundary;
+        ] );
+      ( "coloring",
+        [
+          Alcotest.test_case "constraints" `Quick test_coloring_constraints;
+          Alcotest.test_case "encode/decode" `Quick test_coloring_encode_decode;
+          Alcotest.test_case "sequential solver" `Quick test_coloring_solver;
+          Alcotest.test_case "boundary" `Quick test_coloring_respects_boundary;
+        ] );
+      ( "matching",
+        [
+          Alcotest.test_case "constraints (section 5.2)" `Quick test_matching_constraints;
+          Alcotest.test_case "encode/decode" `Quick test_matching_encode_decode;
+          Alcotest.test_case "sequential solver" `Quick test_matching_solver;
+          Alcotest.test_case "lemma 17 labeling process" `Quick test_matching_lemma17_cases;
+        ] );
+      ( "edge_coloring",
+        [
+          Alcotest.test_case "constraints (section 5.1)" `Quick test_edge_coloring_constraints;
+          Alcotest.test_case "2D-1 variant" `Quick test_edge_coloring_two_delta;
+          Alcotest.test_case "encode/decode" `Quick test_edge_coloring_encode_decode;
+          Alcotest.test_case "sequential solver" `Quick test_edge_coloring_solver;
+        ] );
+      ( "orientation",
+        [
+          Alcotest.test_case "constraints" `Quick test_orientation_constraints;
+          Alcotest.test_case "sequential solver" `Quick test_orientation_solver;
+        ] );
+      ( "failure_injection",
+        [
+          Alcotest.test_case "canonical corruptions caught" `Quick
+            test_specific_corruptions_caught;
+        ] );
+      ("properties", qcheck_tests);
+    ]

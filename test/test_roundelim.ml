@@ -1,0 +1,181 @@
+(* Tests for the round elimination engine. *)
+
+module Re = Tl_roundelim.Re
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_make_normalizes () =
+  let p =
+    Re.make ~name:"t" ~alphabet:[ "a"; "b" ] ~node_arity:2 ~edge_arity:2
+      ~node:[ [ "b"; "a" ]; [ "a"; "b" ] ]
+      ~edge:[ [ "a"; "a" ] ]
+  in
+  check_int "deduplicated" 1 (List.length p.Re.node);
+  check "sorted" true (p.Re.node = [ [ 0; 1 ] ])
+
+let test_make_rejects () =
+  check "unknown label" true
+    (try
+       Re.make ~name:"t" ~alphabet:[ "a" ] ~node_arity:1 ~edge_arity:2
+         ~node:[ [ "z" ] ] ~edge:[]
+       |> ignore;
+       false
+     with Invalid_argument _ -> true);
+  check "wrong arity" true
+    (try
+       Re.make ~name:"t" ~alphabet:[ "a" ] ~node_arity:2 ~edge_arity:2
+         ~node:[ [ "a" ] ] ~edge:[]
+       |> ignore;
+       false
+     with Invalid_argument _ -> true)
+
+let test_sinkless_orientation_fixed_point () =
+  List.iter
+    (fun delta ->
+      let so = Re.sinkless_orientation ~delta in
+      check
+        (Printf.sprintf "SO fixed point (delta=%d)" delta)
+        true (Re.is_fixed_point so))
+    [ 3; 4; 5 ]
+
+let test_so_structure () =
+  let so = Re.sinkless_orientation ~delta:3 in
+  check_int "labels" 2 (Array.length so.Re.alphabet);
+  check_int "node configs" 3 (List.length so.Re.node);
+  check_int "edge configs" 1 (List.length so.Re.edge);
+  let r = Re.re so in
+  check_int "R keeps 2 labels" 2 (Array.length r.Re.alphabet)
+
+let test_perfect_matching_fixed_point () =
+  (* perfect matching on regular trees is unsolvable in o(n); its RE
+     trajectory does not grow either — it is a fixed point *)
+  check "pm fixed" true (Re.is_fixed_point (Re.perfect_matching ~delta:3))
+
+let test_2coloring_fixed_point () =
+  check "2col fixed" true (Re.is_fixed_point (Re.weak_2coloring ~delta:3))
+
+let test_mis_grows () =
+  let traj = Re.trajectory ~steps:3 (Re.mis ~delta:3) in
+  check "at least 4 steps" true (List.length traj >= 4);
+  let sizes = List.map (fun (a, _, _) -> a) traj in
+  (match sizes with
+  | a0 :: a1 :: rest ->
+    check "alphabet grows" true (a1 > a0);
+    (match rest with
+    | a2 :: _ -> check "keeps growing" true (a2 > a1)
+    | [] -> ())
+  | _ -> Alcotest.fail "trajectory too short");
+  ignore sizes
+
+let test_equivalence_renaming () =
+  let p1 =
+    Re.make ~name:"p1" ~alphabet:[ "x"; "y" ] ~node_arity:2 ~edge_arity:2
+      ~node:[ [ "x"; "x" ] ]
+      ~edge:[ [ "x"; "y" ] ]
+  in
+  let p2 =
+    Re.make ~name:"p2" ~alphabet:[ "y"; "x" ] ~node_arity:2 ~edge_arity:2
+      ~node:[ [ "y"; "y" ] ]
+      ~edge:[ [ "y"; "x" ] ]
+  in
+  (* p2 is p1 with labels swapped: label 0 of p2 ("y") plays the role of
+     label 0 of p1 ("x") under the identity, so they are equivalent *)
+  check "equivalent up to renaming" true (Re.equivalent p1 p2);
+  let p3 =
+    Re.make ~name:"p3" ~alphabet:[ "x"; "y" ] ~node_arity:2 ~edge_arity:2
+      ~node:[ [ "x"; "y" ] ]
+      ~edge:[ [ "x"; "y" ] ]
+    in
+  check "different problems differ" false (Re.equivalent p1 p3)
+
+let test_trivial_problem_stays_trivial () =
+  (* all configurations allowed: R keeps it fully permissive *)
+  let p =
+    Re.make ~name:"trivial" ~alphabet:[ "a" ] ~node_arity:3 ~edge_arity:2
+      ~node:[ [ "a"; "a"; "a" ] ]
+      ~edge:[ [ "a"; "a" ] ]
+  in
+  check "fixed" true (Re.is_fixed_point p)
+
+let test_re_dual_roundtrip_on_so () =
+  (* R̄(R(SO)) is a reformulation of SO, not a syntactic copy: the dual
+     step compresses the node side to the single maximal configuration
+     {O}{I,O}{I,O} and widens the edge side. Pin down that structure. *)
+  let so = Re.sinkless_orientation ~delta:3 in
+  let back = Re.re_dual (Re.re so) in
+  check_int "two labels" 2 (Array.length back.Re.alphabet);
+  check_int "one node configuration" 1 (List.length back.Re.node);
+  check_int "two edge configurations" 2 (List.length back.Re.edge);
+  (* and the reformulation is itself a fixed point of the same roundtrip *)
+  let back2 = Re.re_dual (Re.re back) in
+  check "roundtrip stabilizes" true (Re.equivalent back back2)
+
+let test_zero_round () =
+  let trivial =
+    Re.make ~name:"trivial" ~alphabet:[ "a" ] ~node_arity:3 ~edge_arity:2
+      ~node:[ [ "a"; "a"; "a" ] ]
+      ~edge:[ [ "a"; "a" ] ]
+  in
+  check "trivial is 0-round" true (Re.zero_round_solvable trivial);
+  check "SO is not 0-round" false
+    (Re.zero_round_solvable (Re.sinkless_orientation ~delta:3));
+  check "pm is not 0-round" false
+    (Re.zero_round_solvable (Re.perfect_matching ~delta:3));
+  check "mis is not 0-round" false (Re.zero_round_solvable (Re.mis ~delta:3))
+
+let test_lower_bound_loop () =
+  let trivial =
+    Re.make ~name:"trivial" ~alphabet:[ "a" ] ~node_arity:3 ~edge_arity:2
+      ~node:[ [ "a"; "a"; "a" ] ]
+      ~edge:[ [ "a"; "a" ] ]
+  in
+  (match Re.lower_bound_loop trivial with
+  | Re.Zero_round_after 0 -> ()
+  | _ -> Alcotest.fail "trivial should be 0-round immediately");
+  (match Re.lower_bound_loop (Re.sinkless_orientation ~delta:3) with
+  | Re.Fixed_point_at _ -> ()
+  | Re.Zero_round_after _ -> Alcotest.fail "SO must not become 0-round"
+  | Re.Still_growing _ -> Alcotest.fail "SO must reach a fixed point");
+  match Re.lower_bound_loop (Re.mis ~delta:3) with
+  | Re.Zero_round_after _ -> Alcotest.fail "MIS must not become 0-round so fast"
+  | Re.Fixed_point_at _ | Re.Still_growing _ -> ()
+
+let prop_re_preserves_arities =
+  QCheck.Test.make ~name:"re preserves arities" ~count:20
+    QCheck.(int_range 3 5)
+    (fun delta ->
+      let p = Re.mis ~delta in
+      let r = Re.re p in
+      r.Re.node_arity = p.Re.node_arity && r.Re.edge_arity = p.Re.edge_arity)
+
+let () =
+  Alcotest.run "tl_roundelim"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "normalization" `Quick test_make_normalizes;
+          Alcotest.test_case "validation" `Quick test_make_rejects;
+        ] );
+      ( "fixed_points",
+        [
+          Alcotest.test_case "sinkless orientation" `Quick test_sinkless_orientation_fixed_point;
+          Alcotest.test_case "SO structure" `Quick test_so_structure;
+          Alcotest.test_case "perfect matching" `Quick test_perfect_matching_fixed_point;
+          Alcotest.test_case "2-coloring" `Quick test_2coloring_fixed_point;
+          Alcotest.test_case "trivial problem" `Quick test_trivial_problem_stays_trivial;
+          Alcotest.test_case "R̄ ∘ R on SO" `Quick test_re_dual_roundtrip_on_so;
+        ] );
+      ( "growth",
+        [ Alcotest.test_case "MIS trajectory grows" `Quick test_mis_grows ] );
+      ( "lower_bound_loop",
+        [
+          Alcotest.test_case "zero-round solvability" `Quick test_zero_round;
+          Alcotest.test_case "loop outcomes" `Quick test_lower_bound_loop;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "renaming" `Quick test_equivalence_renaming;
+          QCheck_alcotest.to_alcotest prop_re_preserves_arities;
+        ] );
+    ]
