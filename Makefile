@@ -1,0 +1,22 @@
+# Convenience entry points; everything is plain dune underneath.
+
+.PHONY: build test bench bench-smoke clean
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Full experiment regeneration (slow: every table E1-E14, A, B, B6).
+bench:
+	dune exec bench/main.exe
+
+# Fast sanity pass used by CI: one analytic experiment plus the engine
+# stepping comparison on a small instance.
+bench-smoke:
+	dune exec bench/main.exe -- E11
+	TL_ENGINE_BENCH_N=2000 dune exec bench/main.exe -- B6
+
+clean:
+	dune clean

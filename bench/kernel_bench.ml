@@ -51,6 +51,220 @@ let tests =
       Test.make ~name:"B5 theorem-1 MIS pipeline 10k" (Staged.stage b5_theorem1_mis);
     ]
 
+(* ---------- B6: engine stepping comparison (emits BENCH_engine.json) ----------
+
+   Times the same LOCAL kernels under the three engine steppers — the
+   legacy naive full-scan reference, the compiled-topology active-set
+   scheduler, and the Domain-parallel variant — on a >= 100k-node random
+   tree, asserts the results are bit-identical across modes, and writes
+   the measurements as BENCH_engine.json in the working directory.
+   Instance size is overridable via TL_ENGINE_BENCH_N (CI smoke). *)
+
+module Engine = Tl_engine.Engine
+module Topology = Tl_engine.Topology
+module Trace = Tl_engine.Trace
+module CV = Tl_symmetry.Cole_vishkin
+
+let engine_bench_n () =
+  match Sys.getenv_opt "TL_ENGINE_BENCH_N" with
+  | Some s -> (
+    match int_of_string_opt s with Some n when n > 0 -> n | _ -> 100_000)
+  | None -> 100_000
+
+type mode_result = {
+  mode : string;
+  wall_s : float;
+  rounds : int;
+  steps : int;
+  ok : bool;  (* bit-identical to the naive reference *)
+}
+
+(* Run [f], capturing total step executions through the trace sink. *)
+let timed_with_steps f =
+  let traces = ref [] in
+  let saved = !Engine.trace_sink in
+  Engine.trace_sink := Some (fun t -> traces := t :: !traces);
+  Fun.protect
+    ~finally:(fun () -> Engine.trace_sink := saved)
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      let dt = Unix.gettimeofday () -. t0 in
+      let steps =
+        List.fold_left
+          (fun acc t -> acc + (Trace.metrics t).Trace.steps)
+          0 !traces
+      in
+      (r, dt, steps))
+
+(* Best-of-[reps] timing; result and rounds are deterministic across reps. *)
+let bench_mode ~reps ~mode f =
+  let best = ref infinity and result = ref None and steps = ref 0 in
+  for _ = 1 to reps do
+    let r, dt, st = timed_with_steps (fun () -> f mode) in
+    if dt < !best then best := dt;
+    steps := st;
+    result := Some r
+  done;
+  (Option.get !result, !best, !steps)
+
+let engine_modes = [ Engine.Naive; Engine.Seq; Engine.Par 2; Engine.Par 4 ]
+
+let run_kernel ~name ~reps f =
+  let naive_r, naive_t, naive_steps = bench_mode ~reps ~mode:Engine.Naive f in
+  let results =
+    { mode = "naive"; wall_s = naive_t; rounds = snd naive_r;
+      steps = naive_steps; ok = true }
+    :: List.filter_map
+         (fun mode ->
+           if mode = Engine.Naive then None
+           else begin
+             let r, t, st = bench_mode ~reps ~mode f in
+             Some
+               {
+                 mode = Engine.mode_to_string mode;
+                 wall_s = t;
+                 rounds = snd r;
+                 steps = st;
+                 ok = r = naive_r;
+               }
+           end)
+         engine_modes
+  in
+  (name, results)
+
+let emit_engine_json ~file ~n ~seed kernels =
+  let b = Buffer.create 4096 in
+  Printf.bprintf b
+    "{\"bench\":\"engine\",\"family\":\"random-tree\",\"n\":%d,\"seed\":%d,\
+     \"cores\":%d,\"kernels\":[" n seed
+    (Domain.recommended_domain_count ());
+  List.iteri
+    (fun i (name, results) ->
+      if i > 0 then Buffer.add_char b ',';
+      let naive_t =
+        List.find (fun r -> r.mode = "naive") results |> fun r -> r.wall_s
+      in
+      Printf.bprintf b
+        "\n {\"kernel\":\"%s\",\"deterministic\":%b,\"modes\":[" name
+        (List.for_all (fun r -> r.ok) results);
+      List.iteri
+        (fun j r ->
+          if j > 0 then Buffer.add_char b ',';
+          Printf.bprintf b
+            "\n  {\"mode\":\"%s\",\"wall_s\":%.6f,\"rounds\":%d,\"steps\":%d,\
+             \"speedup_vs_naive\":%.3f}"
+            r.mode r.wall_s r.rounds r.steps
+            (if r.wall_s > 0. then naive_t /. r.wall_s else 0.))
+        results;
+      Buffer.add_string b "]}")
+    kernels;
+  Buffer.add_string b "]}\n";
+  let oc = open_out file in
+  output_string oc (Buffer.contents b);
+  close_out oc
+
+let run_engine () =
+  let n = engine_bench_n () in
+  let seed = 71 in
+  Util.heading
+    (Printf.sprintf
+       "B6: engine stepping — naive vs active-set vs parallel (n=%d)" n)
+  ;
+  let tree = Gen.random_tree ~n ~seed in
+  let sg = Semi_graph.of_graph tree in
+  let topo = Topology.compile sg in
+  let ids = Ids.permuted ~n ~seed:(seed + 8) in
+  (* CV 3-coloring: the repo's log*-round workhorse, executed as a state
+     machine through Runtime (hence through the engine default mode). *)
+  let parent = Tl_graph.Tree.parents_forest tree in
+  let nodes = List.init n Fun.id in
+  let cv3 mode =
+    let saved = !Engine.default_mode in
+    Engine.default_mode := mode;
+    Fun.protect
+      ~finally:(fun () -> Engine.default_mode := saved)
+      (fun () -> CV.color3_runtime ~sg ~nodes ~parent ~ids)
+  in
+  (* Flooding to a fixed point: diameter-many rounds with a shrinking
+     frontier — the active-set scheduler's best case. *)
+  let flood mode =
+    let o =
+      Engine.run_until_stable ~mode ~topo
+        ~init:(fun v -> v = 0)
+        ~step:(fun ~round:_ ~node:_ s ~neighbors ->
+          s || List.exists (fun (_, _, su) -> su) neighbors)
+        ~equal:Bool.equal ~max_rounds:(n + 1) ()
+    in
+    (o.Engine.states, o.Engine.rounds)
+  in
+  (* Greedy MIS by local id maximum: 0 undecided, 1 in, 2 out; decided
+     regions go quiet while undecided chains keep stepping. *)
+  let mis mode =
+    let step ~round:_ ~node:v s ~neighbors =
+      if s <> 0 then s
+      else if List.exists (fun (_, _, su) -> su = 1) neighbors then 2
+      else if
+        List.for_all (fun (u, _, su) -> su <> 0 || ids.(u) < ids.(v)) neighbors
+      then 1
+      else 0
+    in
+    let o =
+      Engine.run ~mode ~topo
+        ~init:(fun _ -> 0)
+        ~step
+        ~halted:(fun s -> s <> 0)
+        ~max_rounds:(n + 1) ()
+    in
+    (o.Engine.states, o.Engine.rounds)
+  in
+  let kernels =
+    match Sys.getenv_opt "TL_ENGINE_BENCH_KERNELS" with
+    | Some "cv3" -> [ run_kernel ~name:"cv3" ~reps:3 cv3 ]
+    | _ ->
+      [
+        run_kernel ~name:"cv3" ~reps:3 cv3;
+        run_kernel ~name:"flood" ~reps:1 flood;
+        run_kernel ~name:"mis-local-max" ~reps:3 mis;
+      ]
+  in
+  let rows =
+    List.concat_map
+      (fun (name, results) ->
+        let naive_t =
+          (List.find (fun r -> r.mode = "naive") results).wall_s
+        in
+        List.map
+          (fun r ->
+            [
+              name;
+              r.mode;
+              Util.i r.rounds;
+              Util.i r.steps;
+              Printf.sprintf "%.4f" r.wall_s;
+              Printf.sprintf "%.2fx"
+                (if r.wall_s > 0. then naive_t /. r.wall_s else 0.);
+              Util.pass_fail r.ok;
+            ])
+          results)
+      kernels
+  in
+  Util.table
+    ~header:
+      [ "kernel"; "mode"; "rounds"; "steps"; "wall s"; "vs naive"; "identical" ]
+    rows;
+  let active_beats_naive =
+    List.for_all
+      (fun (name, results) ->
+        let t m = (List.find (fun r -> r.mode = m) results).wall_s in
+        name <> "cv3" || t "seq" < t "naive")
+      kernels
+  in
+  Printf.printf "\nactive-set faster than naive on cv3: %s\n"
+    (Util.pass_fail active_beats_naive);
+  emit_engine_json ~file:"BENCH_engine.json" ~n ~seed kernels;
+  Printf.printf "wrote BENCH_engine.json\n"
+
 let run () =
   Util.heading "B1-B5: kernel wall-clock microbenchmarks (Bechamel)";
   let cfg =

@@ -24,6 +24,7 @@ let experiments =
     ("E14", "sinkless orientation in Theta(log n)", Exp_sinkless.run);
     ("A", "ablations: k, rho, b, ID schemes", Exp_ablation.run);
     ("B", "kernel wall-clock microbenchmarks", Kernel_bench.run);
+    ("B6", "engine: naive vs active-set vs parallel stepping", Kernel_bench.run_engine);
   ]
 
 let () =

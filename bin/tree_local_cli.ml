@@ -17,6 +17,8 @@ module Ids = Tl_local.Ids
 module Pipeline = Tl_core.Pipeline
 module Complexity = Tl_core.Complexity
 module Round_cost = Tl_local.Round_cost
+module Engine = Tl_engine.Engine
+module Trace = Tl_engine.Trace
 
 (* ---------- shared arguments ---------- *)
 
@@ -42,6 +44,77 @@ let delta_arg =
   Arg.(
     value & opt int 8
     & info [ "delta" ] ~docv:"D" ~doc:"Degree for balanced-tree.")
+
+(* ---------- engine selection and tracing ---------- *)
+
+let engine_arg =
+  let doc =
+    "Execution engine: naive (the legacy full-scan reference stepper), \
+     seq (compiled topology + active-set scheduler, the default), or \
+     par:N (the same stepper with the per-round compute spread over N \
+     OCaml domains). All modes are deterministic and bit-identical."
+  in
+  let mode =
+    let parse s =
+      match Engine.mode_of_string s with
+      | m -> Ok m
+      | exception Invalid_argument _ ->
+        Error (`Msg (Printf.sprintf "invalid engine %S (expected naive, seq or par:N)" s))
+    in
+    Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (Engine.mode_to_string m))
+  in
+  Arg.(value & opt mode Engine.Seq & info [ "engine" ] ~docv:"MODE" ~doc)
+
+let trace_arg =
+  let doc =
+    "Profile every engine-backed execution: write the per-round traces \
+     as a JSON array to $(docv) and print a metrics summary alongside \
+     the round ledger."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE.json" ~doc)
+
+let collected_traces : Trace.t list ref = ref []
+
+let setup_engine mode trace_file =
+  Engine.default_mode := mode;
+  match trace_file with
+  | None -> ()
+  | Some file ->
+    Engine.trace_sink :=
+      Some (fun t -> collected_traces := t :: !collected_traces);
+    (* write on exit so traces survive the [exit 1] of a failed report *)
+    at_exit (fun () ->
+        let ts = List.rev !collected_traces in
+        match Trace.write_json ~file ts with
+        | () ->
+          Printf.printf "trace:       %d engine run(s) -> %s\n"
+            (List.length ts) file
+        | exception Sys_error msg ->
+          Printf.eprintf "trace:       cannot write %s (%s)\n" file msg)
+
+(* Engine metrics merged into a round ledger and printed with the report.
+   The measured engine rounds live in their own ledger: the report's own
+   ledger counts the rounds the paper's accounting charges, and the
+   engine rows show where the simulator actually spent its executions. *)
+let print_trace_summary () =
+  match List.rev !collected_traces with
+  | [] -> ()
+  | ts ->
+    let ledger = Round_cost.create () in
+    List.iter (fun t -> Tl_local.Runtime.charge_trace ledger t) ts;
+    Printf.printf "engine:      %d run(s), %d measured rounds\n"
+      (List.length ts) (Round_cost.total ledger);
+    List.iter
+      (fun (phase, rounds) -> Printf.printf "  %-24s %6d\n" phase rounds)
+      (Round_cost.phases ledger);
+    List.iteri
+      (fun i t ->
+        if i < 8 then Format.printf "  %a@." Trace.pp_summary t
+        else if i = 8 then Printf.printf "  ...\n")
+      ts
 
 let build_instance family n seed a delta =
   match family with
@@ -105,6 +178,7 @@ let report_raw name problem g labeling cost =
   List.iter
     (fun (phase, rounds) -> Printf.printf "  %-24s %6d\n" phase rounds)
     (Round_cost.phases cost);
+  print_trace_summary ();
   let valid = Tl_problems.Nec.is_valid problem g labeling in
   Printf.printf "valid:       %b\n" valid;
   if not valid then exit 1
@@ -116,6 +190,7 @@ let report name (r : _ Pipeline.report) =
     (fun (phase, rounds) -> Printf.printf "  %-24s %6d\n" phase rounds)
     (Round_cost.phases r.Pipeline.cost);
   if r.Pipeline.k > 0 then Printf.printf "k:           %d\n" r.Pipeline.k;
+  print_trace_summary ();
   Printf.printf "valid:       %b\n" r.Pipeline.valid;
   if not r.Pipeline.valid then begin
     List.iteri
@@ -126,7 +201,8 @@ let report name (r : _ Pipeline.report) =
     exit 1
   end
 
-let solve problem method_ family n seed a delta k =
+let solve problem method_ family n seed a delta k engine trace =
+  setup_engine engine trace;
   let g = build_instance family n seed a delta in
   let ids = Ids.permuted ~n:(Graph.n_nodes g) ~seed:(seed + 1) in
   let must_tree name =
@@ -172,7 +248,7 @@ let solve_cmd =
   Cmd.v (Cmd.info "solve" ~doc)
     Term.(
       const solve $ problem_arg $ method_arg $ family_arg $ n_arg $ seed_arg
-      $ a_arg $ delta_arg $ k_arg)
+      $ a_arg $ delta_arg $ k_arg $ engine_arg $ trace_arg)
 
 (* ---------- decompose ---------- *)
 

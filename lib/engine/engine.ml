@@ -1,0 +1,439 @@
+module Semi_graph = Tl_graph.Semi_graph
+
+type mode = Naive | Seq | Par of int
+type scheduling = Active_set | Full_scan
+
+let mode_to_string = function
+  | Naive -> "naive"
+  | Seq -> "seq"
+  | Par p -> "par:" ^ string_of_int p
+
+let mode_of_string s =
+  match s with
+  | "naive" -> Naive
+  | "seq" -> Seq
+  | _ when String.length s > 4 && String.sub s 0 4 = "par:" -> (
+    match int_of_string_opt (String.sub s 4 (String.length s - 4)) with
+    | Some p when p >= 1 -> Par p
+    | _ -> invalid_arg ("Engine.mode_of_string: " ^ s))
+  | _ -> invalid_arg ("Engine.mode_of_string: " ^ s)
+
+let sched_to_string = function
+  | Active_set -> "active-set"
+  | Full_scan -> "full-scan"
+
+let default_mode = ref Seq
+let trace_sink : (Trace.t -> unit) option ref = ref None
+
+type 'state outcome = { states : 'state array; rounds : int }
+
+type 'state step_fn =
+  round:int ->
+  node:int ->
+  'state ->
+  neighbors:(int * int * 'state) list ->
+  'state
+
+let now = Unix.gettimeofday
+
+(* ---------- trace plumbing ---------- *)
+
+let begin_trace ?trace ~label ~mode ~sched ~compile_s topo =
+  let t =
+    match (trace, !trace_sink) with
+    | Some t, _ -> Some t
+    | None, Some _ -> Some (Trace.create ~label ())
+    | None, None -> None
+  in
+  Option.iter
+    (fun t ->
+      Trace.set_meta t ~mode:(mode_to_string mode)
+        ~scheduling:(sched_to_string sched)
+        ~n_base:(Topology.n_base topo)
+        ~n_present:(Topology.n_present topo);
+      Trace.set_compile_s t compile_s)
+    t;
+  t
+
+(* Runs [f], then finishes and delivers the trace even if [f] raised
+   (so --trace still shows where a diverging run spent its rounds). *)
+let with_trace tr f =
+  let t0 = now () in
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter
+        (fun t ->
+          Trace.finish t ~total_s:(now () -. t0);
+          Option.iter (fun sink -> sink t) !trace_sink)
+        tr)
+    f
+
+let record tr ~round ~active ~changed ~unhalted ~t0 =
+  Option.iter
+    (fun t ->
+      Trace.record t
+        { Trace.round; active; changed; unhalted; wall_s = now () -. t0 })
+    tr
+
+(* ---------- the naive reference stepper (legacy port) ---------- *)
+
+(* Exact port of the pre-engine Tl_local.Runtime internals: full scan of
+   every present node per round, neighbor gathering through
+   Semi_graph.rank2_neighbors, and Array.copy + Array.blit state movement.
+   Kept verbatim as the differential-testing reference and the benchmark
+   baseline — do not "optimize". *)
+
+let gather_neighbors sg states v =
+  List.map
+    (fun (u, e) -> (u, e, states.(u)))
+    (Semi_graph.rank2_neighbors sg v)
+
+let naive_run ~tr ~topo ~init ~step ~halted ~max_rounds =
+  let sg = topo.Topology.sg in
+  let n = topo.Topology.n_base in
+  let present = topo.Topology.present in
+  let states = Array.init n (fun v -> init v) in
+  let all_halted () =
+    let ok = ref true in
+    for v = 0 to n - 1 do
+      if present.(v) && not (halted states.(v)) then ok := false
+    done;
+    !ok
+  in
+  let rounds = ref 0 in
+  while (not (all_halted ())) && !rounds < max_rounds do
+    let t0 = now () in
+    incr rounds;
+    let next = Array.copy states in
+    for v = 0 to n - 1 do
+      if present.(v) then
+        next.(v) <-
+          step ~round:!rounds ~node:v states.(v)
+            ~neighbors:(gather_neighbors sg states v)
+    done;
+    Array.blit next 0 states 0 n;
+    record tr ~round:!rounds ~active:topo.Topology.n_present ~changed:(-1)
+      ~unhalted:(-1) ~t0
+  done;
+  if not (all_halted ()) then
+    failwith (Printf.sprintf "Engine.run: max_rounds=%d exceeded" max_rounds);
+  { states; rounds = !rounds }
+
+let naive_run_until_stable ~tr ~topo ~init ~step ~equal ~max_rounds =
+  let sg = topo.Topology.sg in
+  let n = topo.Topology.n_base in
+  let present = topo.Topology.present in
+  let states = Array.init n (fun v -> init v) in
+  let rounds = ref 0 in
+  let stable = ref false in
+  while (not !stable) && !rounds < max_rounds do
+    let t0 = now () in
+    let next = Array.copy states in
+    let changed = ref 0 in
+    for v = 0 to n - 1 do
+      if present.(v) then begin
+        let s =
+          step ~round:(!rounds + 1) ~node:v states.(v)
+            ~neighbors:(gather_neighbors sg states v)
+        in
+        if not (equal s states.(v)) then incr changed;
+        next.(v) <- s
+      end
+    done;
+    record tr ~round:(!rounds + 1) ~active:topo.Topology.n_present
+      ~changed:!changed ~unhalted:(-1) ~t0;
+    if !changed > 0 then begin
+      incr rounds;
+      Array.blit next 0 states 0 n
+    end
+    else stable := true
+  done;
+  if not !stable then
+    failwith
+      (Printf.sprintf "Engine.run_until_stable: max_rounds=%d exceeded"
+         max_rounds);
+  { states; rounds = !rounds }
+
+let naive_run_rounds ~tr ~topo ~init ~step ~rounds:total =
+  let sg = topo.Topology.sg in
+  let n = topo.Topology.n_base in
+  let present = topo.Topology.present in
+  let states = Array.init n (fun v -> init v) in
+  for r = 1 to total do
+    let t0 = now () in
+    let next = Array.copy states in
+    for v = 0 to n - 1 do
+      if present.(v) then
+        next.(v) <-
+          step ~round:r ~node:v states.(v)
+            ~neighbors:(gather_neighbors sg states v)
+    done;
+    Array.blit next 0 states 0 n;
+    record tr ~round:r ~active:topo.Topology.n_present ~changed:(-1)
+      ~unhalted:(-1) ~t0
+  done;
+  { states; rounds = total }
+
+(* ---------- the engine stepper (Seq / Par) ---------- *)
+
+type 'state core = {
+  topo : Topology.t;
+  cur : 'state array;  (* published states; committed in place *)
+  scratch : 'state array;  (* round buffer: next state per active node *)
+  mutable active : int array;  (* active node ids, [0 .. n_active) *)
+  mutable n_active : int;
+  mutable spare : int array;  (* swap partner of [active] *)
+  dirty : bool array;  (* membership in the next active set *)
+  equal : 'state -> 'state -> bool;
+  sched : scheduling;
+}
+
+let make_core ~topo ~sched ~equal ~init =
+  let n = Topology.n_base topo in
+  let cur = Array.init n (fun v -> init v) in
+  let np = Topology.n_present topo in
+  let active = Array.sub topo.Topology.present_nodes 0 np in
+  {
+    topo;
+    cur;
+    scratch = Array.copy cur;
+    active;
+    n_active = np;
+    spare = Array.make (max 1 np) 0;
+    dirty = Array.make n false;
+    equal;
+    sched;
+  }
+
+let compute_range core step round lo hi =
+  let cur = core.cur in
+  let active = core.active and scratch = core.scratch in
+  let off = core.topo.Topology.off
+  and adj = core.topo.Topology.adj
+  and eid = core.topo.Topology.eid in
+  for i = lo to hi - 1 do
+    let v = active.(i) in
+    (* Neighbor triples in ascending incident order — identical contents
+       and order to the legacy gather, built from the CSR rows. Iterative
+       reverse build: hub nodes would overflow the stack under naive
+       recursion. *)
+    let acc = ref [] in
+    for j = off.(v + 1) - 1 downto off.(v) do
+      let u = adj.(j) in
+      acc := (u, eid.(j), cur.(u)) :: !acc
+    done;
+    scratch.(v) <- step ~round ~node:v cur.(v) ~neighbors:!acc
+  done
+
+(* Compute phase. In Par mode the active array is cut into [p] fixed
+   contiguous chunks, one domain each: every active node is written by
+   exactly one domain, all reads go to [cur] which no one writes during
+   the phase, and Domain.join orders the writes before the commit below —
+   so the result is bit-identical to Seq for any [p]. *)
+let compute core step round par =
+  let count = core.n_active in
+  let p = max 1 (min par (min count 64)) in
+  if p = 1 then compute_range core step round 0 count
+  else begin
+    let chunk = (count + p - 1) / p in
+    let doms = ref [] in
+    for d = p - 1 downto 1 do
+      let lo = d * chunk and hi = min count ((d + 1) * chunk) in
+      if lo < hi then
+        doms := Domain.spawn (fun () -> compute_range core step round lo hi)
+                :: !doms
+    done;
+    compute_range core step round 0 (min chunk count);
+    List.iter Domain.join !doms
+  end
+
+(* Commit phase (always sequential, O(active + changed * deg)): publish
+   changed states into [cur], invoke [on_change], and under Active_set
+   rebuild the active set as {changed} ∪ N({changed}) via the dirty
+   flags. Unchanged nodes keep their state without any copying — this is
+   the buffer swap replacing the legacy copy + blit. *)
+let commit core ~on_change =
+  let changed = ref 0 in
+  let cur = core.cur and scratch = core.scratch in
+  let active = core.active and equal = core.equal in
+  (match core.sched with
+  | Full_scan ->
+    for i = 0 to core.n_active - 1 do
+      let v = active.(i) in
+      let s' = scratch.(v) in
+      if not (equal s' cur.(v)) then begin
+        incr changed;
+        cur.(v) <- s';
+        on_change v
+      end
+    done
+  | Active_set ->
+    let next = core.spare in
+    let k = ref 0 in
+    let dirty = core.dirty in
+    let off = core.topo.Topology.off and adj = core.topo.Topology.adj in
+    for i = 0 to core.n_active - 1 do
+      let v = active.(i) in
+      let s' = scratch.(v) in
+      if not (equal s' cur.(v)) then begin
+        incr changed;
+        cur.(v) <- s';
+        on_change v;
+        if not dirty.(v) then begin
+          dirty.(v) <- true;
+          next.(!k) <- v;
+          incr k
+        end;
+        for j = off.(v) to off.(v + 1) - 1 do
+          let u = adj.(j) in
+          if not dirty.(u) then begin
+            dirty.(u) <- true;
+            next.(!k) <- u;
+            incr k
+          end
+        done
+      end
+    done;
+    (* The collect loop above emits the frontier in a jumbled order; for a
+       dense next set that order wrecks cache locality in the following
+       compute phase, so rebuild it ascending from the dirty bitmap (the
+       O(n) scan is negligible when the set is a constant fraction of n).
+       Sparse frontiers keep the unordered list — a full scan per round
+       would erase the active-set savings. Node order never affects the
+       computed states, only memory-access locality. *)
+    if !k * 8 >= core.topo.Topology.n_present then begin
+      let idx = ref 0 in
+      for v = 0 to Array.length dirty - 1 do
+        if dirty.(v) then begin
+          dirty.(v) <- false;
+          next.(!idx) <- v;
+          incr idx
+        end
+      done
+    end
+    else
+      for i = 0 to !k - 1 do
+        dirty.(next.(i)) <- false
+      done;
+    let old = core.active in
+    core.active <- next;
+    core.spare <- old;
+    core.n_active <- !k);
+  !changed
+
+let engine_run ~par ~sched ~equal ~tr ~topo ~init ~step ~halted ~max_rounds =
+  let core = make_core ~topo ~sched ~equal ~init in
+  let halted_f = Array.make (Topology.n_base topo) true in
+  let n_unhalted = ref 0 in
+  Array.iter
+    (fun v ->
+      let h = halted core.cur.(v) in
+      halted_f.(v) <- h;
+      if not h then incr n_unhalted)
+    topo.Topology.present_nodes;
+  let rounds = ref 0 in
+  let stalled = ref false in
+  while !n_unhalted > 0 && !rounds < max_rounds && not !stalled do
+    if core.n_active = 0 then
+      (* No node can ever change again (stationarity), so no node can
+         ever halt: the naive stepper would spin to max_rounds and raise;
+         we raise the same failure without the spin. *)
+      stalled := true
+    else begin
+      let t0 = now () in
+      let active_now = core.n_active in
+      incr rounds;
+      compute core step !rounds par;
+      let changed =
+        commit core ~on_change:(fun v ->
+            let h = halted core.cur.(v) in
+            if h <> halted_f.(v) then begin
+              halted_f.(v) <- h;
+              if h then decr n_unhalted else incr n_unhalted
+            end)
+      in
+      record tr ~round:!rounds ~active:active_now ~changed
+        ~unhalted:!n_unhalted ~t0
+    end
+  done;
+  if !n_unhalted > 0 then
+    failwith (Printf.sprintf "Engine.run: max_rounds=%d exceeded" max_rounds);
+  { states = core.cur; rounds = !rounds }
+
+let engine_run_until_stable ~par ~sched ~equal ~tr ~topo ~init ~step
+    ~max_rounds =
+  let core = make_core ~topo ~sched ~equal ~init in
+  let rounds = ref 0 in
+  let stable = ref false in
+  while (not !stable) && !rounds < max_rounds do
+    if core.n_active = 0 then stable := true
+    else begin
+      let t0 = now () in
+      let active_now = core.n_active in
+      compute core step (!rounds + 1) par;
+      let changed = commit core ~on_change:ignore in
+      record tr ~round:(!rounds + 1) ~active:active_now ~changed
+        ~unhalted:(-1) ~t0;
+      if changed > 0 then incr rounds else stable := true
+    end
+  done;
+  if not !stable then
+    failwith
+      (Printf.sprintf "Engine.run_until_stable: max_rounds=%d exceeded"
+         max_rounds);
+  { states = core.cur; rounds = !rounds }
+
+let engine_run_rounds ~par ~sched ~equal ~tr ~topo ~init ~step ~rounds:total =
+  let core = make_core ~topo ~sched ~equal ~init in
+  for r = 1 to total do
+    (* an empty active set means the remaining scheduled rounds are
+       no-ops (stationarity); skip the work but keep the round count *)
+    if core.n_active > 0 then begin
+      let t0 = now () in
+      let active_now = core.n_active in
+      compute core step r par;
+      let changed = commit core ~on_change:ignore in
+      record tr ~round:r ~active:active_now ~changed ~unhalted:(-1) ~t0
+    end
+  done;
+  { states = core.cur; rounds = total }
+
+(* ---------- public API ---------- *)
+
+let par_of = function Naive | Seq -> 1 | Par p -> max 1 p
+
+let run ?mode ?(sched = Active_set) ?(equal = Stdlib.( = )) ?trace
+    ?(label = "engine.run") ?(compile_s = 0.) ~topo ~init ~step ~halted
+    ~max_rounds () =
+  let mode = match mode with Some m -> m | None -> !default_mode in
+  let tr = begin_trace ?trace ~label ~mode ~sched ~compile_s topo in
+  with_trace tr (fun () ->
+      match mode with
+      | Naive -> naive_run ~tr ~topo ~init ~step ~halted ~max_rounds
+      | Seq | Par _ ->
+        engine_run ~par:(par_of mode) ~sched ~equal ~tr ~topo ~init ~step
+          ~halted ~max_rounds)
+
+let run_until_stable ?mode ?(sched = Active_set) ?trace
+    ?(label = "engine.run_until_stable") ?(compile_s = 0.) ~topo ~init ~step
+    ~equal ~max_rounds () =
+  let mode = match mode with Some m -> m | None -> !default_mode in
+  let tr = begin_trace ?trace ~label ~mode ~sched ~compile_s topo in
+  with_trace tr (fun () ->
+      match mode with
+      | Naive -> naive_run_until_stable ~tr ~topo ~init ~step ~equal ~max_rounds
+      | Seq | Par _ ->
+        engine_run_until_stable ~par:(par_of mode) ~sched ~equal ~tr ~topo
+          ~init ~step ~max_rounds)
+
+let run_rounds ?mode ?(sched = Active_set) ?(equal = Stdlib.( = )) ?trace
+    ?(label = "engine.run_rounds") ?(compile_s = 0.) ~topo ~init ~step ~rounds
+    () =
+  let mode = match mode with Some m -> m | None -> !default_mode in
+  let tr = begin_trace ?trace ~label ~mode ~sched ~compile_s topo in
+  with_trace tr (fun () ->
+      match mode with
+      | Naive -> naive_run_rounds ~tr ~topo ~init ~step ~rounds
+      | Seq | Par _ ->
+        engine_run_rounds ~par:(par_of mode) ~sched ~equal ~tr ~topo ~init
+          ~step ~rounds)

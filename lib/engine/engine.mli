@@ -1,0 +1,128 @@
+(** Deterministic high-performance execution engine for the LOCAL model.
+
+    This is the execution backend behind {!Tl_local.Runtime}: the same
+    synchronous state-reading semantics (Definition 5), run over a
+    compiled {!Topology} snapshot with three interchangeable steppers:
+
+    - [Naive] — a faithful port of the original stepper: every present
+      node re-steps every round, neighbor lists are gathered through
+      {!Tl_graph.Semi_graph.rank2_neighbors}, and states are moved with
+      two full array copies per round. Kept as the bit-exact reference
+      for differential tests and as the benchmark baseline.
+    - [Seq] — single-threaded over the CSR snapshot, double-buffered with
+      an O(changed)-cost commit (no full copies) and, under
+      [Active_set] scheduling, a frontier queue: only nodes whose 1-hop
+      neighborhood changed in the previous round are re-stepped, so
+      converged regions cost zero.
+    - [Par p] — the [Seq] stepper with the per-round compute fanned out
+      over [p] OCaml 5 domains in fixed deterministic contiguous chunks
+      of the active array. Reads go to the current buffer only and every
+      active node is written by exactly one domain, so results are
+      bit-identical to [Seq] regardless of [p] or thread interleaving.
+
+    {2 Determinism guarantee}
+
+    For a fixed topology, [init], [step] and ID assignment, all modes and
+    schedulings produce bit-identical final states and round counts,
+    {e provided} [step] is stationary: its output depends only on the
+    node's state and its neighbors' states — not on [~round] — whenever
+    those inputs are unchanged from the previous round. (Between rounds
+    with different inputs, [step] may use [~round] freely; schedules that
+    fire on specific round numbers independently of state, like Linial's
+    palette schedule, must use [Full_scan].) Under [Active_set] a node
+    with an unchanged closed neighborhood is not re-stepped; stationarity
+    is exactly the condition making that skip unobservable.
+
+    All modes raise [Failure] when [max_rounds] is exhausted, like the
+    legacy runtime; the active-set stepper additionally fails fast when
+    the active set drains while unhalted nodes remain (a stationary
+    machine can then never halt — the naive stepper would spin to
+    [max_rounds] and raise the same way). *)
+
+type mode = Naive | Seq | Par of int
+
+type scheduling =
+  | Active_set  (** re-step only nodes with a changed 1-hop neighborhood *)
+  | Full_scan  (** re-step every present node every round *)
+
+val mode_to_string : mode -> string
+
+val mode_of_string : string -> mode
+(** Parses ["naive"], ["seq"], ["par:N"] (N >= 1). Raises
+    [Invalid_argument] otherwise. *)
+
+val default_mode : mode ref
+(** Mode used when a run does not specify one. [Seq] initially; the CLI's
+    [--engine] flag retargets every engine-backed execution in the
+    process by setting this. *)
+
+val trace_sink : (Trace.t -> unit) option ref
+(** When set, every engine run reports its trace here (creating an
+    internal trace if the caller did not supply one) — the hook behind
+    the CLI's [--trace]. Traces are delivered even when the run raises. *)
+
+type 'state outcome = { states : 'state array; rounds : int }
+
+type 'state step_fn =
+  round:int ->
+  node:int ->
+  'state ->
+  neighbors:(int * int * 'state) list ->
+  'state
+(** Same contract as the legacy runtime: [neighbors] lists
+    [(neighbor, edge, neighbor_state)] over present rank-2 edges in
+    ascending incident order. *)
+
+val run :
+  ?mode:mode ->
+  ?sched:scheduling ->
+  ?equal:('state -> 'state -> bool) ->
+  ?trace:Trace.t ->
+  ?label:string ->
+  ?compile_s:float ->
+  topo:Topology.t ->
+  init:(int -> 'state) ->
+  step:'state step_fn ->
+  halted:('state -> bool) ->
+  max_rounds:int ->
+  unit ->
+  'state outcome
+(** Engine counterpart of {!Tl_local.Runtime.run}: rounds execute while
+    some present node is unhalted, every executed round is counted, the
+    halting check happens before the first round. [equal] (default
+    structural equality) is used only for change detection — it never
+    affects results under the stationarity contract, only which nodes
+    are re-stepped and the [changed] trace counts. *)
+
+val run_until_stable :
+  ?mode:mode ->
+  ?sched:scheduling ->
+  ?trace:Trace.t ->
+  ?label:string ->
+  ?compile_s:float ->
+  topo:Topology.t ->
+  init:(int -> 'state) ->
+  step:'state step_fn ->
+  equal:('state -> 'state -> bool) ->
+  max_rounds:int ->
+  unit ->
+  'state outcome
+(** Engine counterpart of {!Tl_local.Runtime.run_until_stable}: stops at
+    a global fixed point; the detection round is not charged. *)
+
+val run_rounds :
+  ?mode:mode ->
+  ?sched:scheduling ->
+  ?equal:('state -> 'state -> bool) ->
+  ?trace:Trace.t ->
+  ?label:string ->
+  ?compile_s:float ->
+  topo:Topology.t ->
+  init:(int -> 'state) ->
+  step:'state step_fn ->
+  rounds:int ->
+  unit ->
+  'state outcome
+(** Execute exactly [rounds] synchronous rounds of a fixed a-priori
+    schedule (no halting predicate). Round-number-driven schedules must
+    pass [~sched:Full_scan]. *)

@@ -1,0 +1,47 @@
+(** Compiled topology snapshot of a semi-graph.
+
+    A {!Tl_graph.Semi_graph.t} answers {!Tl_graph.Semi_graph.rank2_neighbors}
+    by scanning the base incidence arrays and re-checking node/edge presence
+    on every call, allocating a fresh list each time — which the legacy
+    stepper did once per node per round. A topology compiles that view once
+    into CSR (compressed sparse row) arrays over the {e rank-2} adjacency:
+    for each present node, the present rank-2 neighbors, the connecting edge
+    ids and the local half-edge ids, in the same ascending incident order as
+    [rank2_neighbors]. The engine's hot loop then runs over flat [int]
+    arrays with no presence checks.
+
+    The snapshot is immutable; the exposed arrays must not be mutated. *)
+
+type t = private {
+  sg : Tl_graph.Semi_graph.t;  (** the view this was compiled from *)
+  n_base : int;  (** nodes of the base graph (array extents) *)
+  n_present : int;
+  present : bool array;
+  present_nodes : int array;  (** present node ids, ascending *)
+  off : int array;  (** CSR row offsets, length [n_base + 1] *)
+  adj : int array;  (** neighbor node id per CSR slot *)
+  eid : int array;  (** connecting edge id per CSR slot *)
+  hid : int array;  (** half-edge id {e at the row node} per CSR slot *)
+}
+
+val compile : Tl_graph.Semi_graph.t -> t
+(** Flatten the rank-2 adjacency of a semi-graph. [O(n + m)]. *)
+
+val n_base : t -> int
+val n_present : t -> int
+val present : t -> int -> bool
+
+val degree : t -> int -> int
+(** Rank-2 (underlying) degree of a node; [0] for absent nodes. *)
+
+val max_degree : t -> int
+(** Maximum rank-2 degree over present nodes. *)
+
+val neighbor_nodes : t -> int -> int list
+(** Present rank-2 neighbor ids of a node, ascending incident order —
+    the CSR equivalent of
+    [List.map fst (Semi_graph.rank2_neighbors sg v)]. *)
+
+val neighbor_pairs : t -> int -> (int * int) list
+(** [(neighbor, edge)] pairs, identical order and contents to
+    [Semi_graph.rank2_neighbors sg v]. *)

@@ -1,69 +1,43 @@
-module Semi_graph = Tl_graph.Semi_graph
+(* Thin compatibility wrappers over Tl_engine: the legacy full-scan
+   stepper with its two full array copies per round lives on only as the
+   engine's Naive reference mode. *)
+
+module Engine = Tl_engine.Engine
+module Topology = Tl_engine.Topology
 
 type 'state outcome = { states : 'state array; rounds : int }
 
-let gather_neighbors sg states v =
-  List.map
-    (fun (u, e) -> (u, e, states.(u)))
-    (Semi_graph.rank2_neighbors sg v)
+let compile sg =
+  let t0 = Unix.gettimeofday () in
+  let topo = Topology.compile sg in
+  (topo, Unix.gettimeofday () -. t0)
+
+let run_with ?mode ?sched ?equal ?trace ~sg ~init ~step ~halted ~max_rounds ()
+    =
+  let topo, compile_s = compile sg in
+  let o =
+    Engine.run ?mode ?sched ?equal ?trace ~label:"runtime.run" ~compile_s
+      ~topo ~init ~step ~halted ~max_rounds ()
+  in
+  { states = o.Engine.states; rounds = o.Engine.rounds }
+
+let run_until_stable_with ?mode ?sched ?trace ~sg ~init ~step ~equal
+    ~max_rounds () =
+  let topo, compile_s = compile sg in
+  let o =
+    Engine.run_until_stable ?mode ?sched ?trace ~label:"runtime.stable"
+      ~compile_s ~topo ~init ~step ~equal ~max_rounds ()
+  in
+  { states = o.Engine.states; rounds = o.Engine.rounds }
 
 let run ~sg ~init ~step ~halted ~max_rounds =
-  let base = Semi_graph.base sg in
-  let n = Tl_graph.Graph.n_nodes base in
-  let present = Array.init n (Semi_graph.node_present sg) in
-  let states = Array.init n (fun v -> init v) in
-  let all_halted () =
-    let ok = ref true in
-    for v = 0 to n - 1 do
-      if present.(v) && not (halted states.(v)) then ok := false
-    done;
-    !ok
-  in
-  let rounds = ref 0 in
-  while (not (all_halted ())) && !rounds < max_rounds do
-    incr rounds;
-    let next = Array.copy states in
-    for v = 0 to n - 1 do
-      if present.(v) then
-        next.(v) <-
-          step ~round:!rounds ~node:v states.(v)
-            ~neighbors:(gather_neighbors sg states v)
-    done;
-    Array.blit next 0 states 0 n
-  done;
-  if not (all_halted ()) then
-    failwith
-      (Printf.sprintf "Runtime.run: max_rounds=%d exceeded" max_rounds);
-  { states; rounds = !rounds }
+  run_with ~sg ~init ~step ~halted ~max_rounds ()
 
 let run_until_stable ~sg ~init ~step ~equal ~max_rounds =
-  let base = Semi_graph.base sg in
-  let n = Tl_graph.Graph.n_nodes base in
-  let present = Array.init n (Semi_graph.node_present sg) in
-  let states = Array.init n (fun v -> init v) in
-  let rounds = ref 0 in
-  let stable = ref false in
-  while (not !stable) && !rounds < max_rounds do
-    let next = Array.copy states in
-    let changed = ref false in
-    for v = 0 to n - 1 do
-      if present.(v) then begin
-        let s =
-          step ~round:(!rounds + 1) ~node:v states.(v)
-            ~neighbors:(gather_neighbors sg states v)
-        in
-        if not (equal s states.(v)) then changed := true;
-        next.(v) <- s
-      end
-    done;
-    if !changed then begin
-      incr rounds;
-      Array.blit next 0 states 0 n
-    end
-    else stable := true
-  done;
-  if not !stable then
-    failwith
-      (Printf.sprintf "Runtime.run_until_stable: max_rounds=%d exceeded"
-         max_rounds);
-  { states; rounds = !rounds }
+  run_until_stable_with ~sg ~init ~step ~equal ~max_rounds ()
+
+let charge_trace cost trace =
+  let m = Tl_engine.Trace.metrics trace in
+  Round_cost.charge cost
+    ("engine:" ^ Tl_engine.Trace.label trace)
+    m.Tl_engine.Trace.rounds

@@ -7,8 +7,19 @@
     number of executed rounds is returned; algorithms built on top record
     their cost in a {!Round_cost.t} ledger.
 
+    Since the engine subsystem landed, these entry points are thin
+    compatibility wrappers over {!Tl_engine.Engine}: the semi-graph is
+    compiled once into a CSR {!Tl_engine.Topology} snapshot and stepped
+    with the double-buffered active-set scheduler (no per-round full
+    copies; converged regions cost zero). The optional [mode] selects the
+    stepper — [Naive] (the original full-scan reference), [Seq] (default,
+    via {!Tl_engine.Engine.default_mode}) or [Par p] (OCaml 5 domains,
+    deterministic chunking) — all bit-identical under the engine's
+    stationarity contract (see {!Tl_engine.Engine}).
+
     Determinism: given the semi-graph, the ID assignment and a
-    deterministic [step], runs are bit-for-bit reproducible. *)
+    deterministic [step], runs are bit-for-bit reproducible across all
+    modes and schedulings. *)
 
 type 'state outcome = {
   states : 'state array;
@@ -37,7 +48,9 @@ val run :
     checked {e before} the first round, so an already-halted configuration
     costs 0 rounds — or when [max_rounds] is reached, whichever comes
     first. Raises [Failure] if [max_rounds] is exceeded with non-halted
-    nodes, as a guard against non-terminating algorithms. *)
+    nodes, as a guard against non-terminating algorithms. The stepper is
+    selected by {!Tl_engine.Engine.default_mode}; active-set change
+    detection uses structural equality. *)
 
 val run_until_stable :
   sg:Tl_graph.Semi_graph.t ->
@@ -54,3 +67,47 @@ val run_until_stable :
 (** Like {!run}, but stops when a global fixed point is reached (no state
     changed during a round). The fixed-point detection round itself is not
     charged. *)
+
+val run_with :
+  ?mode:Tl_engine.Engine.mode ->
+  ?sched:Tl_engine.Engine.scheduling ->
+  ?equal:('state -> 'state -> bool) ->
+  ?trace:Tl_engine.Trace.t ->
+  sg:Tl_graph.Semi_graph.t ->
+  init:(int -> 'state) ->
+  step:
+    (round:int ->
+    node:int ->
+    'state ->
+    neighbors:(int * int * 'state) list ->
+    'state) ->
+  halted:('state -> bool) ->
+  max_rounds:int ->
+  unit ->
+  'state outcome
+(** {!run} with explicit engine controls: stepper [mode] ([Naive] /
+    [Seq] / [Par p]), [sched]uling, active-set [equal] and a [trace]
+    collector. *)
+
+val run_until_stable_with :
+  ?mode:Tl_engine.Engine.mode ->
+  ?sched:Tl_engine.Engine.scheduling ->
+  ?trace:Tl_engine.Trace.t ->
+  sg:Tl_graph.Semi_graph.t ->
+  init:(int -> 'state) ->
+  step:
+    (round:int ->
+    node:int ->
+    'state ->
+    neighbors:(int * int * 'state) list ->
+    'state) ->
+  equal:('state -> 'state -> bool) ->
+  max_rounds:int ->
+  unit ->
+  'state outcome
+(** {!run_until_stable} with explicit engine controls. *)
+
+val charge_trace : Round_cost.t -> Tl_engine.Trace.t -> unit
+(** Merge an engine trace into a round ledger: charges the measured
+    engine rounds under the phase ["engine:<label>"]. Used by the CLI to
+    surface [--trace] metrics in the standard ledger report. *)

@@ -9,18 +9,22 @@ let proper_coloring sg ~ids =
   let n = Graph.n_nodes base in
   if Array.length ids <> n then invalid_arg "Algos.proper_coloring: bad ids";
   let nodes = Semi_graph.nodes sg in
-  let max_degree = Semi_graph.max_underlying_degree sg in
+  (* One compiled snapshot serves the whole reduction chain: Linial runs
+     on the engine, and the greedy reductions read adjacency through the
+     CSR rows instead of re-deriving it from the semi-graph every call. *)
+  let topo = Tl_engine.Topology.compile sg in
+  let max_degree = Tl_engine.Topology.max_degree topo in
   let colors = Array.make n (-1) in
   List.iter (fun v -> colors.(v) <- ids.(v)) nodes;
   let palette0 = 1 + List.fold_left (fun acc v -> max acc ids.(v)) 0 nodes in
-  let neighbors = underlying_neighbors sg in
+  let neighbors v = Tl_engine.Topology.neighbor_nodes topo v in
   if max_degree = 0 then begin
     List.iter (fun v -> colors.(v) <- 0) nodes;
     (colors, 1, 0)
   end
   else begin
     let palette1, linial_rounds =
-      Linial.reduce ~neighbors ~nodes ~colors ~palette:palette0 ~max_degree
+      Linial.reduce_topo ~topo ~nodes ~colors ~palette:palette0 ~max_degree
     in
     let palette2, kw_rounds =
       Reduce.kw_to_delta_plus_one ~neighbors ~nodes ~colors ~palette:palette1

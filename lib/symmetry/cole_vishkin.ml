@@ -87,15 +87,20 @@ let color3_runtime ~sg ~nodes ~parent ~ids =
       else state
     end
   in
+  (* typed state equality: keeps the engine's change detection on the
+     int-compare fast path instead of polymorphic compare *)
+  let state_equal a b =
+    a.color = b.color && a.my_parent = b.my_parent && a.steps = b.steps
+  in
   let outcome =
-    Tl_local.Runtime.run ~sg
+    Tl_local.Runtime.run_with ~sg ~equal:state_equal
       ~init:(fun v ->
         if Hashtbl.mem in_forest v then
           { color = ids.(v); my_parent = parent.(v); steps = 0 }
         else { color = 0; my_parent = -1; steps = 0 })
       ~step
       ~halted:(fun s -> s.steps >= total)
-      ~max_rounds:(total + 1)
+      ~max_rounds:(total + 1) ()
   in
   let colors = Array.make (Array.length parent) (-1) in
   List.iter

@@ -84,6 +84,48 @@ let step ~neighbors ~nodes ~colors ~palette ~max_degree =
   List.iter (fun v -> colors.(v) <- next.(v)) nodes;
   q * q
 
+(* The (q, d) parameters of every reduction round are a function of the
+   (globally known) initial palette alone, so the whole reduction is a
+   fixed a-priori schedule — exactly what the engine's [run_rounds] wants. *)
+let schedule ~palette ~max_degree =
+  let rec go pal acc =
+    let q, d = choose_parameters ~max_degree ~palette:pal in
+    if q * q < pal then go (q * q) ((q, d) :: acc) else List.rev acc
+  in
+  Array.of_list (go palette [])
+
+let reduce_topo ~topo ~nodes ~colors ~palette ~max_degree =
+  let sched = schedule ~palette ~max_degree in
+  let n_rounds = Array.length sched in
+  if n_rounds = 0 then (palette, 0)
+  else begin
+    let step ~round ~node:_ c ~neighbors =
+      let q, d = sched.(round - 1) in
+      let own = digits c q d in
+      let neigh = List.map (fun (_, _, cu) -> digits cu q d) neighbors in
+      let rec find_x x =
+        if x >= q then
+          invalid_arg "Linial.step: no evaluation point (coloring not proper?)"
+        else
+          let mine = eval_poly own q x in
+          if List.exists (fun cf -> eval_poly cf q x = mine) neigh then
+            find_x (x + 1)
+          else (x, mine)
+      in
+      let x, value = find_x 0 in
+      (x * q) + value
+    in
+    (* Round-number-driven schedule: must re-step every node each round. *)
+    let o =
+      Tl_engine.Engine.run_rounds ~sched:Tl_engine.Engine.Full_scan ~topo
+        ~init:(fun v -> colors.(v))
+        ~step ~rounds:n_rounds ()
+    in
+    List.iter (fun v -> colors.(v) <- o.Tl_engine.Engine.states.(v)) nodes;
+    let q_last, _ = sched.(n_rounds - 1) in
+    (q_last * q_last, n_rounds)
+  end
+
 let reduce ~neighbors ~nodes ~colors ~palette ~max_degree =
   let rounds = ref 0 in
   let current = ref palette in

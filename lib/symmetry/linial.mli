@@ -35,3 +35,22 @@ val reduce :
 (** Iterate {!step} while it strictly shrinks the palette. Returns
     [(final_palette, rounds)]; [colors] is updated in place and remains a
     proper coloring with values in [0, final_palette). *)
+
+val schedule : palette:int -> max_degree:int -> (int * int) array
+(** The [(q, d)] parameters of each reduction round, derived from the
+    globally known initial palette alone — the fixed a-priori schedule
+    every node can compute locally. Empty when the first step would not
+    shrink the palette. *)
+
+val reduce_topo :
+  topo:Tl_engine.Topology.t ->
+  nodes:int list ->
+  colors:int array ->
+  palette:int ->
+  max_degree:int ->
+  int * int
+(** {!reduce} executed on the engine over a compiled topology snapshot
+    ({!Tl_engine.Engine.run_rounds}, full-scan scheduling since the
+    schedule is round-number-driven). Bit-identical results and round
+    counts to {!reduce} on the same communication graph; [nodes] must be
+    the present nodes of [topo]. *)

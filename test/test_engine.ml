@@ -1,0 +1,426 @@
+(* Tests for the execution engine: Topology compilation, differential
+   equivalence of the Naive / Seq / Par steppers across graph families
+   and machines, failure semantics, tracing, and the Runtime wrappers. *)
+
+module Graph = Tl_graph.Graph
+module Gen = Tl_graph.Gen
+module Tree = Tl_graph.Tree
+module Semi_graph = Tl_graph.Semi_graph
+module Topology = Tl_engine.Topology
+module Engine = Tl_engine.Engine
+module Trace = Tl_engine.Trace
+module Runtime = Tl_local.Runtime
+module Round_cost = Tl_local.Round_cost
+module Ids = Tl_local.Ids
+module CV = Tl_symmetry.Cole_vishkin
+module Linial = Tl_symmetry.Linial
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let modes = [ Engine.Naive; Engine.Seq; Engine.Par 2; Engine.Par 4 ]
+
+(* Graph families exercised by the differential properties: random trees,
+   forest unions (arboricity 2), stars (one huge hub) and
+   preferential-attachment trees (skewed hubs). *)
+let family ~n ~seed ~pick =
+  let n = max 2 n in
+  match pick mod 4 with
+  | 0 -> Gen.random_tree ~n ~seed
+  | 1 -> Gen.forest_union ~n ~arboricity:2 ~seed
+  | 2 -> Gen.star n
+  | _ -> Gen.power_law_tree ~n ~seed
+
+(* ---------- machines ---------- *)
+
+let flood_step ~round:_ ~node:_ s ~neighbors =
+  s || List.exists (fun (_, _, su) -> su) neighbors
+
+(* greedy MIS by local id maximum: 0 undecided / 1 in / 2 out *)
+let mis_step ids ~round:_ ~node:v s ~neighbors =
+  if s <> 0 then s
+  else if List.exists (fun (_, _, su) -> su = 1) neighbors then 2
+  else if List.for_all (fun (u, _, su) -> su <> 0 || ids.(u) < ids.(v)) neighbors
+  then 1
+  else 0
+
+(* leaf peeling: a node peels once at most one neighbor is unpeeled *)
+let peel_step ~round:_ ~node:_ s ~neighbors =
+  s
+  || List.length (List.filter (fun (_, _, su) -> not su) neighbors) <= 1
+
+(* ---------- Topology vs Semi_graph ---------- *)
+
+let topo_agrees sg =
+  let topo = Topology.compile sg in
+  Topology.n_present topo = Semi_graph.n_present_nodes sg
+  && Topology.max_degree topo = Semi_graph.max_underlying_degree sg
+  && List.for_all
+       (fun v ->
+         Topology.present topo v
+         && Topology.neighbor_pairs topo v = Semi_graph.rank2_neighbors sg v
+         && Topology.degree topo v
+            = List.length (Semi_graph.rank2_neighbors sg v)
+         && Topology.neighbor_nodes topo v
+            = List.map fst (Semi_graph.rank2_neighbors sg v))
+       (Semi_graph.nodes sg)
+
+let prop_topology_matches_semigraph =
+  QCheck.Test.make ~name:"Topology.compile agrees with rank2_neighbors"
+    ~count:60
+    QCheck.(triple (int_range 2 120) (int_range 0 100000) (int_range 0 3))
+    (fun (n, seed, pick) ->
+      let g = family ~n ~seed ~pick in
+      topo_agrees (Semi_graph.of_graph g))
+
+let prop_topology_on_subsets =
+  QCheck.Test.make ~name:"Topology.compile agrees on node subsets" ~count:40
+    QCheck.(triple (int_range 3 120) (int_range 0 100000) (int_range 0 3))
+    (fun (n, seed, pick) ->
+      let g = family ~n ~seed ~pick in
+      (* drop every third node: absent nodes and their edges must vanish
+         from the snapshot exactly like they do from the semi-graph *)
+      let keep = Array.init (Graph.n_nodes g) (fun v -> v mod 3 <> 2) in
+      topo_agrees (Semi_graph.of_node_subset g keep))
+
+(* ---------- differential: all modes bit-identical ---------- *)
+
+let outcomes_equal (a : 'a Engine.outcome) (b : 'a Engine.outcome) =
+  a.Engine.rounds = b.Engine.rounds && a.Engine.states = b.Engine.states
+
+let all_modes_agree run_in =
+  let reference = run_in Engine.Naive in
+  List.for_all (fun m -> outcomes_equal (run_in m) reference) modes
+
+let prop_flood_differential =
+  QCheck.Test.make ~name:"flood: modes and scheds bit-identical" ~count:50
+    QCheck.(triple (int_range 2 150) (int_range 0 100000) (int_range 0 3))
+    (fun (n, seed, pick) ->
+      let g = family ~n ~seed ~pick in
+      let topo = Topology.compile (Semi_graph.of_graph g) in
+      let run_in ?sched mode =
+        Engine.run_until_stable ~mode ?sched ~topo
+          ~init:(fun v -> v = 0)
+          ~step:flood_step ~equal:Bool.equal
+          ~max_rounds:(Graph.n_nodes g + 1)
+          ()
+      in
+      all_modes_agree (fun m -> run_in m)
+      && outcomes_equal
+           (run_in ~sched:Engine.Full_scan Engine.Seq)
+           (run_in Engine.Naive))
+
+let prop_mis_differential =
+  QCheck.Test.make ~name:"MIS machine: modes bit-identical" ~count:50
+    QCheck.(triple (int_range 2 150) (int_range 0 100000) (int_range 0 3))
+    (fun (n, seed, pick) ->
+      let g = family ~n ~seed ~pick in
+      let n = Graph.n_nodes g in
+      let ids = Ids.permuted ~n ~seed:(seed + 3) in
+      let topo = Topology.compile (Semi_graph.of_graph g) in
+      all_modes_agree (fun mode ->
+          Engine.run ~mode ~topo
+            ~init:(fun _ -> 0)
+            ~step:(mis_step ids)
+            ~halted:(fun s -> s <> 0)
+            ~max_rounds:(n + 1) ()))
+
+let prop_peel_differential =
+  QCheck.Test.make ~name:"leaf peeling: modes bit-identical" ~count:50
+    QCheck.(triple (int_range 2 150) (int_range 0 100000) (int_range 0 3))
+    (fun (n, seed, pick) ->
+      let g = family ~n ~seed ~pick in
+      let topo = Topology.compile (Semi_graph.of_graph g) in
+      all_modes_agree (fun mode ->
+          Engine.run_until_stable ~mode ~topo
+            ~init:(fun _ -> false)
+            ~step:peel_step ~equal:Bool.equal
+            ~max_rounds:(Graph.n_nodes g + 1)
+            ()))
+
+let prop_cv_differential =
+  (* end to end through Runtime: CV 3-coloring is the repo's main
+     engine-backed state machine *)
+  QCheck.Test.make ~name:"CV 3-coloring: modes bit-identical via Runtime"
+    ~count:30
+    QCheck.(pair (int_range 2 120) (int_range 0 100000))
+    (fun (n, seed) ->
+      let g = Gen.random_tree ~n ~seed in
+      let parent = Tree.parents_forest g in
+      let ids = Ids.permuted ~n ~seed:(seed + 1) in
+      let sg = Semi_graph.of_graph g in
+      let nodes = List.init n Fun.id in
+      let run_in mode =
+        let saved = !Engine.default_mode in
+        Engine.default_mode := mode;
+        Fun.protect
+          ~finally:(fun () -> Engine.default_mode := saved)
+          (fun () -> CV.color3_runtime ~sg ~nodes ~parent ~ids)
+      in
+      let reference = run_in Engine.Naive in
+      List.for_all (fun m -> run_in m = reference) modes)
+
+let prop_run_rounds_differential =
+  (* max-propagation for a fixed number of rounds; also checks that the
+     engine keeps executing (and counting) after the machine goes quiet *)
+  QCheck.Test.make ~name:"run_rounds: modes bit-identical, exact count"
+    ~count:40
+    QCheck.(triple (int_range 2 120) (int_range 0 100000) (int_range 0 3))
+    (fun (n, seed, pick) ->
+      let g = family ~n ~seed ~pick in
+      let ids = Ids.permuted ~n:(Graph.n_nodes g) ~seed:(seed + 5) in
+      let topo = Topology.compile (Semi_graph.of_graph g) in
+      let r = 3 + (seed mod 5) in
+      let run_in mode =
+        Engine.run_rounds ~mode ~topo
+          ~init:(fun v -> ids.(v))
+          ~step:(fun ~round:_ ~node:_ s ~neighbors ->
+            List.fold_left (fun acc (_, _, su) -> max acc su) s neighbors)
+          ~rounds:r ()
+      in
+      let reference = run_in Engine.Naive in
+      reference.Engine.rounds = r
+      && List.for_all (fun m -> outcomes_equal (run_in m) reference) modes)
+
+(* ---------- Runtime wrappers (regression vs the naive reference) ---------- *)
+
+let named_families =
+  [
+    ("path", Gen.path 40);
+    ("star", Gen.star 30);
+    ("double-star", Gen.double_star 8 9);
+    ("caterpillar", Gen.caterpillar ~spine:10 ~legs:3);
+    ("random-tree", Gen.random_tree ~n:80 ~seed:11);
+    ("forest-union", Gen.forest_union ~n:60 ~arboricity:2 ~seed:13);
+    ("power-law-tree", Gen.power_law_tree ~n:70 ~seed:17);
+  ]
+
+let test_runtime_matches_naive () =
+  List.iter
+    (fun (name, g) ->
+      let sg = Semi_graph.of_graph g in
+      let n = Graph.n_nodes g in
+      let init v = v = 0 in
+      let default =
+        Runtime.run ~sg ~init ~step:flood_step
+          ~halted:(fun s -> s)
+          ~max_rounds:(n + 1)
+      in
+      let naive =
+        Runtime.run_with ~mode:Engine.Naive ~sg ~init ~step:flood_step
+          ~halted:(fun s -> s)
+          ~max_rounds:(n + 1) ()
+      in
+      check (name ^ ": run states match naive") true
+        (default.Runtime.states = naive.Runtime.states);
+      check_int (name ^ ": run rounds match naive") naive.Runtime.rounds
+        default.Runtime.rounds;
+      let default_s =
+        Runtime.run_until_stable ~sg ~init ~step:flood_step ~equal:Bool.equal
+          ~max_rounds:(n + 1)
+      in
+      let naive_s =
+        Runtime.run_until_stable_with ~mode:Engine.Naive ~sg ~init
+          ~step:flood_step ~equal:Bool.equal
+          ~max_rounds:(n + 1) ()
+      in
+      check (name ^ ": stable states match naive") true
+        (default_s.Runtime.states = naive_s.Runtime.states);
+      check_int
+        (name ^ ": stable rounds match naive")
+        naive_s.Runtime.rounds default_s.Runtime.rounds)
+    named_families
+
+(* ---------- Linial on the engine ---------- *)
+
+let prop_linial_topo_equivalence =
+  QCheck.Test.make ~name:"Linial.reduce_topo == Linial.reduce" ~count:30
+    QCheck.(pair (int_range 2 120) (int_range 0 100000))
+    (fun (n, seed) ->
+      let g = family ~n ~seed ~pick:(seed mod 4) in
+      let n = Graph.n_nodes g in
+      let nodes = List.init n Fun.id in
+      let ids = Ids.permuted ~n ~seed:(seed + 7) in
+      let colors_a = Array.map (fun id -> id - 1) ids in
+      let colors_b = Array.copy colors_a in
+      let max_degree = Graph.max_degree g in
+      let ra =
+        Linial.reduce
+          ~neighbors:(fun v -> Array.to_list (Graph.neighbors g v))
+          ~nodes ~colors:colors_a ~palette:n ~max_degree
+      in
+      let topo = Topology.compile (Semi_graph.of_graph g) in
+      let rb =
+        Linial.reduce_topo ~topo ~nodes ~colors:colors_b ~palette:n ~max_degree
+      in
+      ra = rb && colors_a = colors_b)
+
+(* ---------- failure semantics ---------- *)
+
+let failure_message f =
+  match f () with
+  | exception Failure m -> Some m
+  | _ -> None
+
+let test_max_rounds_failure_parity () =
+  let topo = Topology.compile (Semi_graph.of_graph (Gen.path 5)) in
+  (* never halts, never changes: naive spins to max_rounds, the
+     active-set stepper stalls — both must raise the same Failure *)
+  let frozen mode () =
+    Engine.run ~mode ~topo
+      ~init:(fun _ -> 0)
+      ~step:(fun ~round:_ ~node:_ s ~neighbors:_ -> s)
+      ~halted:(fun _ -> false)
+      ~max_rounds:10 ()
+  in
+  let m_naive = failure_message (frozen Engine.Naive) in
+  check "naive raises" true (m_naive <> None);
+  List.iter
+    (fun mode ->
+      Alcotest.(check (option string))
+        ("stall parity: " ^ Engine.mode_to_string mode)
+        m_naive
+        (failure_message (frozen mode)))
+    modes;
+  (* never stabilizes: every mode must exhaust max_rounds identically *)
+  let blinker mode () =
+    Engine.run_until_stable ~mode ~topo
+      ~init:(fun _ -> false)
+      ~step:(fun ~round:_ ~node:_ s ~neighbors:_ -> not s)
+      ~equal:Bool.equal ~max_rounds:7 ()
+  in
+  let m_naive = failure_message (blinker Engine.Naive) in
+  check "naive blinker raises" true (m_naive <> None);
+  List.iter
+    (fun mode ->
+      Alcotest.(check (option string))
+        ("blinker parity: " ^ Engine.mode_to_string mode)
+        m_naive
+        (failure_message (blinker mode)))
+    modes
+
+let test_empty_present_set () =
+  let g = Gen.path 4 in
+  let sg = Semi_graph.of_node_subset g (Array.make 4 false) in
+  let topo = Topology.compile sg in
+  List.iter
+    (fun mode ->
+      let o =
+        Engine.run ~mode ~topo
+          ~init:(fun _ -> 0)
+          ~step:(fun ~round:_ ~node:_ s ~neighbors:_ -> s + 1)
+          ~halted:(fun _ -> false)
+          ~max_rounds:5 ()
+      in
+      check_int
+        ("no present nodes costs 0 rounds: " ^ Engine.mode_to_string mode)
+        0 o.Engine.rounds)
+    modes
+
+(* ---------- tracing and the ledger bridge ---------- *)
+
+let test_trace_metrics () =
+  let n = 64 in
+  let g = Gen.random_tree ~n ~seed:23 in
+  let sg = Semi_graph.of_graph g in
+  let trace = Trace.create ~label:"test-flood" () in
+  let o =
+    Runtime.run_with ~trace ~sg
+      ~init:(fun v -> v = 0)
+      ~step:flood_step
+      ~halted:(fun s -> s)
+      ~max_rounds:(n + 1) ()
+  in
+  let m = Trace.metrics trace in
+  check_int "trace rounds = outcome rounds" o.Runtime.rounds m.Trace.rounds;
+  check_int "naive_steps = rounds * n" (o.Runtime.rounds * n)
+    m.Trace.naive_steps;
+  check "active-set executed fewer steps" true (m.Trace.steps < m.Trace.naive_steps);
+  check_int "steps = sum of per-round active"
+    (List.fold_left (fun acc r -> acc + r.Trace.active) 0 (Trace.records trace))
+    m.Trace.steps;
+  check "max_active bounded by n" true (m.Trace.max_active <= n);
+  let json = Trace.to_json trace in
+  check "json carries the label" true
+    (let needle = "\"label\":\"test-flood\"" in
+     let rec find i =
+       i + String.length needle <= String.length json
+       && (String.sub json i (String.length needle) = needle || find (i + 1))
+     in
+     find 0);
+  (* ledger bridge: the measured engine rounds land in a named phase *)
+  let ledger = Round_cost.create () in
+  Runtime.charge_trace ledger trace;
+  check_int "charge_trace adds engine:<label> phase" m.Trace.rounds
+    (Round_cost.get ledger "engine:test-flood")
+
+let test_trace_sink () =
+  let got = ref [] in
+  let saved = !Engine.trace_sink in
+  Engine.trace_sink := Some (fun t -> got := t :: !got);
+  Fun.protect
+    ~finally:(fun () -> Engine.trace_sink := saved)
+    (fun () ->
+      let sg = Semi_graph.of_graph (Gen.path 12) in
+      ignore
+        (Runtime.run ~sg
+           ~init:(fun v -> v = 0)
+           ~step:flood_step
+           ~halted:(fun s -> s)
+           ~max_rounds:20));
+  check_int "sink received exactly one trace" 1 (List.length !got);
+  check "sink trace measured rounds" true
+    ((Trace.metrics (List.hd !got)).Trace.rounds > 0)
+
+(* ---------- mode parsing ---------- *)
+
+let test_mode_strings () =
+  List.iter
+    (fun m ->
+      check
+        ("round-trip " ^ Engine.mode_to_string m)
+        true
+        (Engine.mode_of_string (Engine.mode_to_string m) = m))
+    [ Engine.Naive; Engine.Seq; Engine.Par 2; Engine.Par 16 ];
+  List.iter
+    (fun s ->
+      check ("rejects " ^ s) true
+        (match Engine.mode_of_string s with
+        | exception Invalid_argument _ -> true
+        | _ -> false))
+    [ "par:0"; "par:x"; "threads"; "" ]
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "tl_engine"
+    [
+      ( "topology",
+        qsuite [ prop_topology_matches_semigraph; prop_topology_on_subsets ] );
+      ( "differential",
+        qsuite
+          [
+            prop_flood_differential;
+            prop_mis_differential;
+            prop_peel_differential;
+            prop_cv_differential;
+            prop_run_rounds_differential;
+          ] );
+      ( "runtime",
+        [ Alcotest.test_case "wrappers match naive" `Quick
+            test_runtime_matches_naive ] );
+      ("linial", qsuite [ prop_linial_topo_equivalence ]);
+      ( "failure",
+        [
+          Alcotest.test_case "max_rounds and stall parity" `Quick
+            test_max_rounds_failure_parity;
+          Alcotest.test_case "empty present set" `Quick test_empty_present_set;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "metrics and ledger bridge" `Quick
+            test_trace_metrics;
+          Alcotest.test_case "global sink" `Quick test_trace_sink;
+        ] );
+      ("modes", [ Alcotest.test_case "parsing" `Quick test_mode_strings ]);
+    ]
