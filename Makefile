@@ -13,10 +13,13 @@ bench:
 	dune exec bench/main.exe
 
 # Fast sanity pass used by CI: one analytic experiment plus the engine
-# stepping comparison on a small instance.
+# stepping comparison on a small instance, regression-gated against the
+# committed baseline (loose tolerance; only catastrophic slowdowns fail).
 bench-smoke:
 	dune exec bench/main.exe -- E11
-	TL_ENGINE_BENCH_N=2000 dune exec bench/main.exe -- B6
+	cp BENCH_engine.json bench-baseline.json
+	TL_ENGINE_BENCH_N=2000 TL_ENGINE_BENCH_KERNELS=cv3 dune exec bench/main.exe -- B6
+	dune exec bench/regress.exe -- --tolerance 5.0 bench-baseline.json BENCH_engine.json
 
 clean:
 	dune clean

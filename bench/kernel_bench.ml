@@ -73,11 +73,16 @@ let engine_bench_n () =
 
 type mode_result = {
   mode : string;
+  domains : int;  (* domains the mode actually runs on, not host cores *)
   wall_s : float;
   rounds : int;
   steps : int;
   ok : bool;  (* bit-identical to the naive reference *)
 }
+
+let mode_domains = function
+  | Engine.Naive | Engine.Seq -> 1
+  | Engine.Par p -> p
 
 (* Run [f], capturing total step executions through the trace sink. *)
 let timed_with_steps f =
@@ -113,7 +118,7 @@ let engine_modes = [ Engine.Naive; Engine.Seq; Engine.Par 2; Engine.Par 4 ]
 let run_kernel ~name ~reps f =
   let naive_r, naive_t, naive_steps = bench_mode ~reps ~mode:Engine.Naive f in
   let results =
-    { mode = "naive"; wall_s = naive_t; rounds = snd naive_r;
+    { mode = "naive"; domains = 1; wall_s = naive_t; rounds = snd naive_r;
       steps = naive_steps; ok = true }
     :: List.filter_map
          (fun mode ->
@@ -123,6 +128,7 @@ let run_kernel ~name ~reps f =
              Some
                {
                  mode = Engine.mode_to_string mode;
+                 domains = mode_domains mode;
                  wall_s = t;
                  rounds = snd r;
                  steps = st;
@@ -152,9 +158,9 @@ let emit_engine_json ~file ~n ~seed kernels =
         (fun j r ->
           if j > 0 then Buffer.add_char b ',';
           Printf.bprintf b
-            "\n  {\"mode\":\"%s\",\"wall_s\":%.6f,\"rounds\":%d,\"steps\":%d,\
-             \"speedup_vs_naive\":%.3f}"
-            r.mode r.wall_s r.rounds r.steps
+            "\n  {\"mode\":\"%s\",\"domains\":%d,\"wall_s\":%.6f,\"rounds\":%d,\
+             \"steps\":%d,\"speedup_vs_naive\":%.3f}"
+            r.mode r.domains r.wall_s r.rounds r.steps
             (if r.wall_s > 0. then naive_t /. r.wall_s else 0.))
         results;
       Buffer.add_string b "]}")

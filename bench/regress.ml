@@ -1,0 +1,154 @@
+(* regress: bench/report regression comparator.
+
+   Usage:
+     regress.exe [--tolerance FRAC] OLD.json NEW.json
+
+   Loads two measurement files, aligns their kernels/spans by label and
+   prints a per-label PASS/FAIL delta table. A label FAILs when its
+   wall-clock in NEW exceeds OLD by more than the tolerance
+   (new > old * (1 + FRAC), default 0.20). Exit status: 0 when every
+   aligned label passes, 1 on any regression, 2 on usage/parse errors —
+   so CI can gate on it.
+
+   Three self-describing input formats are recognized:
+     - BENCH_engine.json   (bench/kernel_bench.ml B6): labels are
+       "<kernel>/<mode>", metric is the mode's "wall_s";
+     - span reports        (tl_obs, CLI --profile): labels are
+       slash-joined span paths, metric is "elapsed_s";
+     - trace arrays        (CLI --trace): labels are "<label>#<i>",
+       metric is "total_s".
+   The two files need not share a format: alignment is purely by label.
+   Labels present in only one file are reported but never fail the run. *)
+
+module Json = Tl_obs.Json
+
+let usage () =
+  prerr_endline "usage: regress.exe [--tolerance FRAC] OLD.json NEW.json";
+  exit 2
+
+let die fmt = Printf.ksprintf (fun msg -> prerr_endline ("regress: " ^ msg); exit 2) fmt
+
+(* ---------- extraction: (label, seconds) rows per format ---------- *)
+
+let num_field name j =
+  match Option.bind (Json.member name j) Json.to_float with
+  | Some f -> f
+  | None -> die "missing numeric field %S" name
+
+let str_field name j =
+  match Option.bind (Json.member name j) Json.to_str with
+  | Some s -> s
+  | None -> die "missing string field %S" name
+
+let rows_of_bench j =
+  let kernels =
+    match Option.bind (Json.member "kernels" j) Json.to_list with
+    | Some l -> l
+    | None -> die "bench file has no \"kernels\" array"
+  in
+  List.concat_map
+    (fun kernel ->
+      let name = str_field "kernel" kernel in
+      let modes =
+        Option.bind (Json.member "modes" kernel) Json.to_list
+        |> Option.value ~default:[]
+      in
+      List.map
+        (fun m -> (name ^ "/" ^ str_field "mode" m, num_field "wall_s" m))
+        modes)
+    kernels
+
+let rows_of_report j =
+  let rec go prefix seen acc span =
+    let path =
+      let name = str_field "name" span in
+      if prefix = "" then name else prefix ^ "/" ^ name
+    in
+    let path =
+      match Hashtbl.find_opt seen path with
+      | None ->
+        Hashtbl.add seen path 1;
+        path
+      | Some k ->
+        Hashtbl.replace seen path (k + 1);
+        Printf.sprintf "%s#%d" path k
+    in
+    let acc = (path, num_field "elapsed_s" span) :: acc in
+    let children =
+      Option.bind (Json.member "children" span) Json.to_list
+      |> Option.value ~default:[]
+    in
+    List.fold_left (go path seen) acc children
+  in
+  match Json.member "span" j with
+  | Some span -> List.rev (go "" (Hashtbl.create 16) [] span)
+  | None -> die "report file has no \"span\" object"
+
+let rows_of_traces traces =
+  List.mapi
+    (fun i t ->
+      (Printf.sprintf "%s#%d" (str_field "label" t) i, num_field "total_s" t))
+    traces
+
+let rows_of_file file =
+  match Json.parse_file file with
+  | exception Sys_error msg -> die "cannot read %s: %s" file msg
+  | exception Json.Parse_error msg -> die "cannot parse %s: %s" file msg
+  | Json.Arr traces -> rows_of_traces traces
+  | Json.Obj _ as j ->
+    if Json.member "bench" j <> None then rows_of_bench j
+    else if Json.member "tl_obs_report" j <> None then rows_of_report j
+    else die "%s: unrecognized format (expected bench, report or trace JSON)" file
+  | _ -> die "%s: unrecognized format" file
+
+(* ---------- comparison ---------- *)
+
+let () =
+  let tolerance = ref 0.20 in
+  let files = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | ("--tolerance" | "-t") :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some f when f >= 0. ->
+        tolerance := f;
+        parse_args rest
+      | _ -> die "invalid tolerance %S" v)
+    | "--help" :: _ -> usage ()
+    | f :: rest ->
+      files := f :: !files;
+      parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let old_file, new_file =
+    match List.rev !files with [ o; n ] -> (o, n) | _ -> usage ()
+  in
+  let old_rows = rows_of_file old_file and new_rows = rows_of_file new_file in
+  Printf.printf "regress: %s -> %s (tolerance +%.1f%%)\n" old_file new_file
+    (100. *. !tolerance);
+  Printf.printf "  %-44s %10s %10s %8s  %s\n" "label" "old_s" "new_s" "delta"
+    "status";
+  let regressions = ref 0 and compared = ref 0 in
+  List.iter
+    (fun (label, old_s) ->
+      match List.assoc_opt label new_rows with
+      | None -> Printf.printf "  %-44s %10.4f %10s %8s  only-in-old\n" label old_s "-" "-"
+      | Some new_s ->
+        incr compared;
+        let delta = if old_s > 0. then (new_s -. old_s) /. old_s else 0. in
+        let ok = new_s <= old_s *. (1. +. !tolerance) in
+        if not ok then incr regressions;
+        Printf.printf "  %-44s %10.4f %10.4f %+7.1f%%  %s\n" label old_s new_s
+          (100. *. delta)
+          (if ok then "PASS" else "FAIL"))
+    old_rows;
+  List.iter
+    (fun (label, new_s) ->
+      if not (List.mem_assoc label old_rows) then
+        Printf.printf "  %-44s %10s %10.4f %8s  only-in-new\n" label "-" new_s
+          "-")
+    new_rows;
+  Printf.printf "regress: %s (%d compared, %d regression(s))\n"
+    (if !regressions = 0 then "PASS" else "FAIL")
+    !compared !regressions;
+  exit (if !regressions = 0 then 0 else 1)

@@ -19,6 +19,8 @@ module Complexity = Tl_core.Complexity
 module Round_cost = Tl_local.Round_cost
 module Engine = Tl_engine.Engine
 module Trace = Tl_engine.Trace
+module Span = Tl_obs.Span
+module Report = Tl_obs.Report
 
 (* ---------- shared arguments ---------- *)
 
@@ -94,6 +96,65 @@ let setup_engine mode trace_file =
             (List.length ts) file
         | exception Sys_error msg ->
           Printf.eprintf "trace:       cannot write %s (%s)\n" file msg)
+
+(* ---------- whole-run profiling (tl_obs span reports) ---------- *)
+
+let profile_arg =
+  let doc =
+    "Profile the whole run as a hierarchical span report (phases, round \
+     charges, engine runs) and write it as JSON to $(docv). The \
+     enclosing directory must exist; a write failure at exit degrades \
+     to a warning."
+  in
+  let writable_path =
+    let parse s =
+      let dir = Filename.dirname s in
+      if Sys.file_exists dir && Sys.is_directory dir then Ok s
+      else
+        Error
+          (`Msg
+             (Printf.sprintf "invalid --profile %S: directory %S does not exist"
+                s dir))
+    in
+    Arg.conv (parse, Format.pp_print_string)
+  in
+  Arg.(
+    value
+    & opt (some writable_path) None
+    & info [ "profile" ] ~docv:"FILE.json" ~doc)
+
+let report_fmt_arg =
+  let doc =
+    "Print the span report on stdout after the run: $(b,tree) (indented \
+     human view), $(b,json) (the report object) or $(b,csv) (flat \
+     per-span rows)."
+  in
+  Arg.(
+    value
+    & opt (some (enum [ ("tree", `Tree); ("json", `Json); ("csv", `Csv) ])) None
+    & info [ "report" ] ~docv:"FMT" ~doc)
+
+(* The report is finished and written from at_exit so it survives the
+   [exit 1] of a failed validity check, mirroring --trace. *)
+let setup_profile profile report_fmt =
+  if profile <> None || report_fmt <> None then begin
+    let root = Span.create "solve" in
+    Span.install_root root;
+    at_exit (fun () ->
+        Span.finish root;
+        (match report_fmt with
+        | None -> ()
+        | Some `Tree -> Format.printf "%a" Report.pp_tree root
+        | Some `Json -> print_string (Report.json_string root)
+        | Some `Csv -> print_string (Report.to_csv root));
+        match profile with
+        | None -> ()
+        | Some file -> (
+          match Report.write_json ~file root with
+          | () -> Printf.printf "profile:     span report -> %s\n" file
+          | exception Sys_error msg ->
+            Printf.eprintf "profile:     cannot write %s (%s)\n" file msg))
+  end
 
 (* Engine metrics merged into a round ledger and printed with the report.
    The measured engine rounds live in their own ledger: the report's own
@@ -201,9 +262,17 @@ let report name (r : _ Pipeline.report) =
     exit 1
   end
 
-let solve problem method_ family n seed a delta k engine trace =
+let solve problem method_ family n seed a delta k engine trace profile
+    report_fmt =
   setup_engine engine trace;
-  let g = build_instance family n seed a delta in
+  setup_profile profile report_fmt;
+  Span.set_attr "problem" problem;
+  Span.set_attr "method" method_;
+  Span.set_attr "family" family;
+  Span.set_attr "n" (string_of_int n);
+  Span.set_attr "seed" (string_of_int seed);
+  Span.set_attr "engine" (Engine.mode_to_string engine);
+  let g = Span.with_span "instance" (fun () -> build_instance family n seed a delta) in
   let ids = Ids.permuted ~n:(Graph.n_nodes g) ~seed:(seed + 1) in
   let must_tree name =
     if not (Props.is_tree g) then
@@ -248,7 +317,8 @@ let solve_cmd =
   Cmd.v (Cmd.info "solve" ~doc)
     Term.(
       const solve $ problem_arg $ method_arg $ family_arg $ n_arg $ seed_arg
-      $ a_arg $ delta_arg $ k_arg $ engine_arg $ trace_arg)
+      $ a_arg $ delta_arg $ k_arg $ engine_arg $ trace_arg $ profile_arg
+      $ report_fmt_arg)
 
 (* ---------- decompose ---------- *)
 

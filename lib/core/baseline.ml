@@ -2,6 +2,7 @@ module Graph = Tl_graph.Graph
 module Labeling = Tl_problems.Labeling
 module Round_cost = Tl_local.Round_cost
 module Rake_compress = Tl_decompose.Rake_compress
+module Span = Tl_obs.Span
 
 (* Split the tree's edges into two forests by owner (= lower endpoint in
    the rake-and-compress total order with k = 2; every node has at most 2
@@ -9,8 +10,13 @@ module Rake_compress = Tl_decompose.Rake_compress
    in schedule order together with the rounds spent. *)
 let star_schedule tree ~ids =
   let cost = Round_cost.create () in
-  let rc = Rake_compress.run tree ~k:2 ~ids in
-  Round_cost.charge cost "decompose" (Rake_compress.decomposition_rounds rc);
+  let rc =
+    Span.with_span "decompose" (fun () ->
+        let rc = Rake_compress.run tree ~k:2 ~ids in
+        Round_cost.charge cost "decompose"
+          (Rake_compress.decomposition_rounds rc);
+        rc)
+  in
   let n = Graph.n_nodes tree in
   let m = Graph.n_edges tree in
   let f_index = Array.make m 0 in
@@ -25,6 +31,7 @@ let star_schedule tree ~ids =
     tree;
   let star_j = Array.make m 0 in
   let cv_rounds = ref 0 in
+  Span.with_span "forest-coloring" (fun () ->
   for c = 1 to 2 do
     let parent = Array.make n (-1) in
     let in_forest = Array.make n false in
@@ -54,7 +61,7 @@ let star_schedule tree ~ids =
         tree
     end
   done;
-  Round_cost.charge cost "forest-3-coloring" !cv_rounds;
+  Round_cost.charge cost "forest-3-coloring" !cv_rounds);
   (* group the edges of each (c, j) family in schedule order *)
   let families = ref [] in
   for c = 2 downto 1 do
@@ -71,13 +78,15 @@ let star_schedule tree ~ids =
 let solve_with_stars solve_node_list ~tree ~ids =
   let cost, families = star_schedule tree ~ids in
   let labeling = Labeling.create tree in
-  List.iter
-    (fun edges ->
-      solve_node_list tree labeling ~edges;
-      (* each family's stars are node-disjoint and solved in parallel:
-         gather + redistribute at distance 1 *)
-      Round_cost.charge cost "gather-solve(stars)" 2)
-    families;
+  Span.with_span "stars" (fun () ->
+      Span.add_counter "families" (List.length families);
+      List.iter
+        (fun edges ->
+          solve_node_list tree labeling ~edges;
+          (* each family's stars are node-disjoint and solved in parallel:
+             gather + redistribute at distance 1 *)
+          Round_cost.charge cost "gather-solve(stars)" 2)
+        families);
   (labeling, cost)
 
 let edge_coloring_on_tree ~tree ~ids =

@@ -2,6 +2,7 @@ module Graph = Tl_graph.Graph
 module Semi_graph = Tl_graph.Semi_graph
 module Labeling = Tl_problems.Labeling
 module Round_cost = Tl_local.Round_cost
+module Span = Tl_obs.Span
 
 type 'l report = {
   labeling : 'l Tl_problems.Labeling.t;
@@ -13,7 +14,13 @@ type 'l report = {
 }
 
 let finish problem graph labeling cost k =
-  let violations = Tl_problems.Nec.validate problem graph labeling in
+  (* referee check: Definition 6 validation of the produced labeling *)
+  let violations =
+    Span.with_span "validate" (fun () ->
+        let v = Tl_problems.Nec.validate problem graph labeling in
+        Span.add_counter "violations" (List.length v);
+        v)
+  in
   {
     labeling;
     cost;
@@ -103,9 +110,9 @@ let two_delta_edge_coloring_on_graph ?rho ?k ~graph ~a ~ids () =
 let direct problem algo ~graph ~ids =
   let labeling = Labeling.create graph in
   let sg = Semi_graph.of_graph graph in
-  let rounds = algo sg ~ids labeling in
   let cost = Round_cost.create () in
-  Round_cost.charge cost "base:A(G)" rounds;
+  Span.with_span "base" (fun () ->
+      Round_cost.charge cost "base:A(G)" (algo sg ~ids labeling));
   finish problem graph labeling cost 0
 
 let mis_direct ~graph ~ids =

@@ -6,18 +6,24 @@ module Orientation = Tl_problems.Orientation
 
 let solve_on_tree tree ~ids =
   let cost = Round_cost.create () in
-  let rc = Rake_compress.run tree ~k:2 ~ids in
-  Round_cost.charge cost "decompose" (Rake_compress.decomposition_rounds rc);
+  let rc =
+    Tl_obs.Span.with_span "decompose" (fun () ->
+        let rc = Rake_compress.run tree ~k:2 ~ids in
+        Round_cost.charge cost "decompose"
+          (Rake_compress.decomposition_rounds rc);
+        rc)
+  in
   let labeling = Labeling.create tree in
   (* orient each edge from its higher endpoint toward its lower endpoint *)
-  Graph.iter_edges
-    (fun e _ ->
-      let hi = Rake_compress.higher_endpoint rc e in
-      let lo = Rake_compress.lower_endpoint rc e in
-      Labeling.set labeling (Graph.half_edge tree ~edge:e ~node:hi)
-        Orientation.Out;
-      Labeling.set labeling (Graph.half_edge tree ~edge:e ~node:lo)
-        Orientation.In)
-    tree;
-  Round_cost.charge cost "orient" 1;
+  Tl_obs.Span.with_span "orient" (fun () ->
+      Graph.iter_edges
+        (fun e _ ->
+          let hi = Rake_compress.higher_endpoint rc e in
+          let lo = Rake_compress.lower_endpoint rc e in
+          Labeling.set labeling (Graph.half_edge tree ~edge:e ~node:hi)
+            Orientation.Out;
+          Labeling.set labeling (Graph.half_edge tree ~edge:e ~node:lo)
+            Orientation.In)
+        tree;
+      Round_cost.charge cost "orient" 1);
   (labeling, cost)

@@ -3,6 +3,7 @@ module Semi_graph = Tl_graph.Semi_graph
 module Labeling = Tl_problems.Labeling
 module Round_cost = Tl_local.Round_cost
 module Rake_compress = Tl_decompose.Rake_compress
+module Span = Tl_obs.Span
 
 type 'l spec = {
   problem : 'l Tl_problems.Nec.t;
@@ -33,15 +34,21 @@ let run ?(check_invariants = false) ?k ~spec ~tree ~ids ~f () =
           (Format.asprintf "Theorem1.run: invariant broken after %s: %a"
              phase Tl_problems.Nec.pp_violation v)
   in
+  Span.set_attr "k" (string_of_int k);
   let cost = Round_cost.create () in
   (* Phase 1: rake-and-compress decomposition (Algorithm 1). *)
-  let rc = Rake_compress.run tree ~k ~ids in
-  Round_cost.charge cost "decompose" (Rake_compress.decomposition_rounds rc);
+  let rc =
+    Span.with_span "decompose" (fun () ->
+        let rc = Rake_compress.run tree ~k ~ids in
+        Round_cost.charge cost "decompose"
+          (Rake_compress.decomposition_rounds rc);
+        rc)
+  in
   let labeling = Labeling.create tree in
   (* Phase 2: the base algorithm A on T_C (Algorithm 2, line 1). *)
   let t_c = Rake_compress.t_c rc in
-  let base_rounds = spec.base_algorithm t_c ~ids labeling in
-  Round_cost.charge cost "base:A(T_C)" base_rounds;
+  Span.with_span "base" (fun () ->
+      Round_cost.charge cost "base:A(T_C)" (spec.base_algorithm t_c ~ids labeling));
   assert_partial labeling "base:A(T_C)";
   (* Phase 3: gather-and-solve Π× on each component of T_R (line 2). All
      components are processed in parallel; the LOCAL cost is the largest
@@ -73,21 +80,24 @@ let run ?(check_invariants = false) ?k ~spec ~tree ~ids ~f () =
     List.iter (fun v -> dist.(v) <- -1) !touched;
     !far
   in
-  let max_gather = ref 0 in
-  Array.iter
-    (fun component ->
-      match component with
-      | [] -> ()
-      | first :: _ ->
-        let highest =
-          List.fold_left
-            (fun acc v -> if Rake_compress.is_higher rc v acc then v else acc)
-            first component
-        in
-        let ecc = ecc_within highest in
-        if 2 * ecc > !max_gather then max_gather := 2 * ecc;
-        spec.solve_edge_list tree labeling ~nodes:component;
-        assert_partial labeling "gather-solve(T_R) component")
-    components;
-  Round_cost.charge cost "gather-solve(T_R)" !max_gather;
+  Span.with_span "gather-solve" (fun () ->
+      Span.add_counter "components" (Array.length components);
+      let max_gather = ref 0 in
+      Array.iter
+        (fun component ->
+          match component with
+          | [] -> ()
+          | first :: _ ->
+            let highest =
+              List.fold_left
+                (fun acc v ->
+                  if Rake_compress.is_higher rc v acc then v else acc)
+                first component
+            in
+            let ecc = ecc_within highest in
+            if 2 * ecc > !max_gather then max_gather := 2 * ecc;
+            spec.solve_edge_list tree labeling ~nodes:component;
+            assert_partial labeling "gather-solve(T_R) component")
+        components;
+      Round_cost.charge cost "gather-solve(T_R)" !max_gather);
   { labeling; cost; rc; k }

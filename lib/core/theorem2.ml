@@ -3,6 +3,7 @@ module Semi_graph = Tl_graph.Semi_graph
 module Labeling = Tl_problems.Labeling
 module Round_cost = Tl_local.Round_cost
 module Arb_decompose = Tl_decompose.Arb_decompose
+module Span = Tl_obs.Span
 
 type 'l spec = {
   problem : 'l Tl_problems.Nec.t;
@@ -37,29 +38,42 @@ let run ?(check_invariants = false) ?(rho = 2) ?k ~spec ~graph ~a ~ids ~f () =
           (Format.asprintf "Theorem2.run: invariant broken after %s: %a"
              phase Tl_problems.Nec.pp_violation v)
   in
+  Span.set_attr "k" (string_of_int k);
+  Span.set_attr "a" (string_of_int a);
   let cost = Round_cost.create () in
   (* Phase 1: Decomposition (Algorithm 3) with b = 2a, plus the F_i split
-     and the 3-coloring of the forests. *)
-  let d = Arb_decompose.run graph ~a ~k ~ids in
-  Round_cost.charge cost "decompose" (Arb_decompose.decomposition_rounds d);
-  Round_cost.charge cost "forest-3-coloring" (Arb_decompose.cv_rounds d);
+     and the 3-coloring of the forests. The coloring work happens inside
+     Arb_decompose.run (its "cv3-forests" sub-span); its LOCAL rounds are
+     accounted to the "forest-coloring" phase span below. *)
+  let d =
+    Span.with_span "decompose" (fun () ->
+        let d = Arb_decompose.run graph ~a ~k ~ids in
+        Round_cost.charge cost "decompose"
+          (Arb_decompose.decomposition_rounds d);
+        d)
+  in
+  Span.with_span "forest-coloring" (fun () ->
+      Round_cost.charge cost "forest-3-coloring" (Arb_decompose.cv_rounds d));
   let labeling = Labeling.create graph in
   (* Phase 2: the base algorithm A on G[E₂] (Algorithm 4, line 1). *)
   let g_e2 = Arb_decompose.g_e2 d in
-  let base_rounds = spec.base_algorithm g_e2 ~ids labeling in
-  Round_cost.charge cost "base:A(G[E2])" base_rounds;
+  Span.with_span "base" (fun () ->
+      Round_cost.charge cost "base:A(G[E2])"
+        (spec.base_algorithm g_e2 ~ids labeling));
   assert_partial labeling "base:A(G[E2])";
   (* Phase 3: Π* on the star families F_{i,j}, sequentially over the 6a
      classes; within a class the stars are node-disjoint and each is
      solved in 2 rounds (gather + redistribute at distance 1). *)
   let b = Arb_decompose.b d in
-  for i = 1 to b do
-    for j = 1 to 3 do
-      List.iter
-        (fun (_center, edges) -> spec.solve_node_list graph labeling ~edges)
-        (Arb_decompose.stars d ~i ~j);
-      assert_partial labeling (Printf.sprintf "stars F_%d,%d" i j);
-      Round_cost.charge cost "gather-solve(stars)" 2
-    done
-  done;
+  Span.with_span "stars" (fun () ->
+      Span.add_counter "classes" (3 * b);
+      for i = 1 to b do
+        for j = 1 to 3 do
+          List.iter
+            (fun (_center, edges) -> spec.solve_node_list graph labeling ~edges)
+            (Arb_decompose.stars d ~i ~j);
+          assert_partial labeling (Printf.sprintf "stars F_%d,%d" i j);
+          Round_cost.charge cost "gather-solve(stars)" 2
+        done
+      done);
   { labeling; cost; decomposition = d; k; rho }

@@ -28,6 +28,10 @@ let run graph ~a ~k ~ids =
   if k < 5 * a then invalid_arg "Arb_decompose.run: k < 5a";
   let n = Graph.n_nodes graph in
   if Array.length ids <> n then invalid_arg "Arb_decompose.run: bad ids";
+  Tl_obs.Span.with_span "arb-decompose"
+    ~attrs:
+      [ ("a", string_of_int a); ("k", string_of_int k); ("n", string_of_int n) ]
+  @@ fun () ->
   let b = 2 * a in
   let m = Graph.n_edges graph in
   let layer_of = Array.make n 0 in
@@ -37,6 +41,7 @@ let run graph ~a ~k ~ids =
   let remaining = ref n in
   let iteration = ref 0 in
   let bound = lemma13_bound_of ~a ~k ~n in
+  Tl_obs.Span.with_span "peel" (fun () ->
   while !remaining > 0 do
     incr iteration;
     if !iteration > bound then
@@ -82,6 +87,7 @@ let run graph ~a ~k ~ids =
           (Graph.neighbors graph v))
       marked
   done;
+  Tl_obs.Span.add_counter "iterations" !iteration);
   let iterations = !iteration in
   (* total order helpers on the freshly computed layers *)
   let is_higher u v =
@@ -113,6 +119,7 @@ let run graph ~a ~k ~ids =
      per i only in their edge sets, so colors are per (node, i). *)
   let star_j = Array.make m 0 in
   let cv_rounds = ref 0 in
+  Tl_obs.Span.with_span "cv3-forests" (fun () ->
   for i = 1 to b do
     (* parent pointer in F_i: lower endpoint -> higher endpoint *)
     let parent = Array.make n (-1) in
@@ -139,6 +146,7 @@ let run graph ~a ~k ~ids =
       done
     end
   done;
+  Tl_obs.Span.add_counter "cv_rounds" !cv_rounds);
   {
     graph;
     a;

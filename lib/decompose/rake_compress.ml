@@ -25,6 +25,9 @@ let run tree ~k ~ids =
     invalid_arg "Rake_compress.run: not a forest";
   let n = Graph.n_nodes tree in
   if Array.length ids <> n then invalid_arg "Rake_compress.run: bad ids";
+  Tl_obs.Span.with_span "rake-compress"
+    ~attrs:[ ("k", string_of_int k); ("n", string_of_int n) ]
+  @@ fun () ->
   let marks = Array.make n (Raked 0) in
   let alive = Array.make n true in
   let deg = Array.init n (Graph.degree tree) in
@@ -66,6 +69,7 @@ let run tree ~k ~ids =
         remove v)
       rake
   done;
+  Tl_obs.Span.add_counter "iterations" !iteration;
   { tree; k; ids; marks; iterations = !iteration }
 
 let mark t v = t.marks.(v)

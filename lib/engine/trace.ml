@@ -39,6 +39,10 @@ let create ?(label = "engine") () =
   }
 
 let label t = t.lbl
+let mode t = t.mode
+let scheduling t = t.scheduling
+let n_base t = t.n_base
+let n_present t = t.n_present
 
 let set_meta t ~mode ~scheduling ~n_base ~n_present =
   t.mode <- mode;
@@ -101,10 +105,12 @@ let buf_json b t =
   List.iteri
     (fun i r ->
       if i > 0 then Buffer.add_char b ',';
-      Printf.bprintf b
-        "{\"round\":%d,\"active\":%d,\"changed\":%d,\"unhalted\":%d,\
-         \"wall_s\":%.6f}"
-        r.round r.active r.changed r.unhalted r.wall_s)
+      (* untracked quantities (-1) are omitted rather than serialized as
+         sentinel numbers *)
+      Printf.bprintf b "{\"round\":%d,\"active\":%d," r.round r.active;
+      if r.changed >= 0 then Printf.bprintf b "\"changed\":%d," r.changed;
+      if r.unhalted >= 0 then Printf.bprintf b "\"unhalted\":%d," r.unhalted;
+      Printf.bprintf b "\"wall_s\":%.6f}" r.wall_s)
     (records t);
   Buffer.add_string b "]}"
 

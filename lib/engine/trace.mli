@@ -19,10 +19,13 @@
         { "round": 1, "active": 100000, "changed": 99872,
           "unhalted": 100000, "wall_s": 0.0061 }, ... ] }
     v}
-    [unhalted] is [-1] for runs without a halting predicate
-    ({!Engine.run_until_stable}, {!Engine.run_rounds}). [step_savings] is
-    [1 - steps/naive_steps] where [naive_steps] is what a full re-step of
-    every present node each round would have executed. *)
+    [unhalted] is present only for runs with a halting predicate: for
+    {!Engine.run_until_stable} / {!Engine.run_rounds} the field is
+    omitted entirely (in-memory records keep [-1] for untracked).
+    Likewise [changed] is omitted when untracked (the naive stepper does
+    no change detection). [step_savings] is [1 - steps/naive_steps] where
+    [naive_steps] is what a full re-step of every present node each round
+    would have executed. *)
 
 type round_record = {
   round : int;  (** 1-based round index *)
@@ -48,6 +51,13 @@ val create : ?label:string -> unit -> t
     summaries (e.g. the wrapping API entry point or a kernel name). *)
 
 val label : t -> string
+
+val mode : t -> string
+(** Stepper mode as stamped by {!set_meta} (["?"] before the run). *)
+
+val scheduling : t -> string
+val n_base : t -> int
+val n_present : t -> int
 
 (** {1 Engine-side recording} *)
 

@@ -4,6 +4,9 @@ let create () = { entries = [] }
 
 let charge t phase rounds =
   if rounds < 0 then invalid_arg "Round_cost.charge: negative rounds";
+  (* observability bridge: every charge also lands on the ambient span
+     (no-op when no collector is active) *)
+  Tl_obs.Span.add_rounds ~phase rounds;
   let rec bump = function
     | [] -> None
     | (name, r) :: rest when name = phase -> Some ((name, r + rounds) :: rest)

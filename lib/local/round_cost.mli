@@ -12,7 +12,10 @@ val create : unit -> t
 
 val charge : t -> string -> int -> unit
 (** [charge ledger phase rounds] adds [rounds] (>= 0) under [phase].
-    Charging the same phase name twice accumulates. *)
+    Charging the same phase name twice accumulates. When a
+    {!Tl_obs.Span} is ambient, the charge is also forwarded to the
+    current span ({!Tl_obs.Span.add_rounds}) so run reports and ledgers
+    always agree — this includes re-charges via {!merge_into}. *)
 
 val total : t -> int
 

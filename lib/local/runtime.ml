@@ -4,6 +4,7 @@
 
 module Engine = Tl_engine.Engine
 module Topology = Tl_engine.Topology
+module Span = Tl_obs.Span
 
 type 'state outcome = { states : 'state array; rounds : int }
 
@@ -12,12 +13,26 @@ let compile sg =
   let topo = Topology.compile sg in
   (topo, Unix.gettimeofday () -. t0)
 
+(* Observability bridge: when a span is ambient, make sure the engine run
+   is traced (creating a collector if the caller did not supply one) and
+   attach the trace to the current span as an "engine:<label>" child —
+   even when the run raises, so a diverging run still shows up in the
+   report. *)
+let with_engine_span ?trace ~label f =
+  if not (Span.active ()) then f trace
+  else
+    let tr =
+      match trace with Some t -> t | None -> Tl_engine.Trace.create ~label ()
+    in
+    Fun.protect ~finally:(fun () -> Span.add_trace tr) (fun () -> f (Some tr))
+
 let run_with ?mode ?sched ?equal ?trace ~sg ~init ~step ~halted ~max_rounds ()
     =
   let topo, compile_s = compile sg in
   let o =
-    Engine.run ?mode ?sched ?equal ?trace ~label:"runtime.run" ~compile_s
-      ~topo ~init ~step ~halted ~max_rounds ()
+    with_engine_span ?trace ~label:"runtime.run" (fun trace ->
+        Engine.run ?mode ?sched ?equal ?trace ~label:"runtime.run" ~compile_s
+          ~topo ~init ~step ~halted ~max_rounds ())
   in
   { states = o.Engine.states; rounds = o.Engine.rounds }
 
@@ -25,8 +40,9 @@ let run_until_stable_with ?mode ?sched ?trace ~sg ~init ~step ~equal
     ~max_rounds () =
   let topo, compile_s = compile sg in
   let o =
-    Engine.run_until_stable ?mode ?sched ?trace ~label:"runtime.stable"
-      ~compile_s ~topo ~init ~step ~equal ~max_rounds ()
+    with_engine_span ?trace ~label:"runtime.stable" (fun trace ->
+        Engine.run_until_stable ?mode ?sched ?trace ~label:"runtime.stable"
+          ~compile_s ~topo ~init ~step ~equal ~max_rounds ())
   in
   { states = o.Engine.states; rounds = o.Engine.rounds }
 

@@ -19,7 +19,13 @@
 
     Determinism: given the semi-graph, the ID assignment and a
     deterministic [step], runs are bit-for-bit reproducible across all
-    modes and schedulings. *)
+    modes and schedulings.
+
+    Observability: when a {!Tl_obs.Span} is ambient, every entry point
+    traces its engine run (creating a {!Tl_engine.Trace} if the caller
+    supplied none) and attaches it to the current span as an
+    ["engine:<label>"] child, so phase spans opened by the callers show
+    where the simulator actually spent its work. *)
 
 type 'state outcome = {
   states : 'state array;

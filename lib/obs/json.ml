@@ -1,0 +1,241 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let fail pos msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg pos))
+
+(* ---------- parser ---------- *)
+
+type cursor = { s : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.s then Some c.s.[c.pos] else None
+
+let skip_ws c =
+  while
+    c.pos < String.length c.s
+    && match c.s.[c.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    c.pos <- c.pos + 1
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> c.pos <- c.pos + 1
+  | _ -> fail c.pos (Printf.sprintf "expected %C" ch)
+
+let literal c word value =
+  let l = String.length word in
+  if c.pos + l <= String.length c.s && String.sub c.s c.pos l = word then begin
+    c.pos <- c.pos + l;
+    value
+  end
+  else fail c.pos (Printf.sprintf "expected %s" word)
+
+(* Encode a Unicode scalar value (BMP only) as UTF-8. *)
+let add_utf8 b u =
+  if u < 0x80 then Buffer.add_char b (Char.chr u)
+  else if u < 0x800 then begin
+    Buffer.add_char b (Char.chr (0xc0 lor (u lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (u land 0x3f)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xe0 lor (u lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((u lsr 6) land 0x3f)));
+    Buffer.add_char b (Char.chr (0x80 lor (u land 0x3f)))
+  end
+
+let parse_string c =
+  expect c '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    if c.pos >= String.length c.s then fail c.pos "unterminated string"
+    else
+      match c.s.[c.pos] with
+      | '"' -> c.pos <- c.pos + 1
+      | '\\' ->
+        c.pos <- c.pos + 1;
+        (if c.pos >= String.length c.s then fail c.pos "unterminated escape"
+         else
+           match c.s.[c.pos] with
+           | '"' -> Buffer.add_char b '"'; c.pos <- c.pos + 1
+           | '\\' -> Buffer.add_char b '\\'; c.pos <- c.pos + 1
+           | '/' -> Buffer.add_char b '/'; c.pos <- c.pos + 1
+           | 'b' -> Buffer.add_char b '\b'; c.pos <- c.pos + 1
+           | 'f' -> Buffer.add_char b '\012'; c.pos <- c.pos + 1
+           | 'n' -> Buffer.add_char b '\n'; c.pos <- c.pos + 1
+           | 'r' -> Buffer.add_char b '\r'; c.pos <- c.pos + 1
+           | 't' -> Buffer.add_char b '\t'; c.pos <- c.pos + 1
+           | 'u' ->
+             if c.pos + 4 >= String.length c.s then
+               fail c.pos "truncated \\u escape";
+             let hex = String.sub c.s (c.pos + 1) 4 in
+             (match int_of_string_opt ("0x" ^ hex) with
+             | Some u -> add_utf8 b u
+             | None -> fail c.pos "bad \\u escape");
+             c.pos <- c.pos + 5
+           | ch -> fail c.pos (Printf.sprintf "bad escape \\%C" ch));
+        go ()
+      | ch when Char.code ch < 0x20 -> fail c.pos "control char in string"
+      | ch ->
+        Buffer.add_char b ch;
+        c.pos <- c.pos + 1;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while
+    c.pos < String.length c.s && is_num_char c.s.[c.pos]
+  do
+    c.pos <- c.pos + 1
+  done;
+  let tok = String.sub c.s start (c.pos - start) in
+  match float_of_string_opt tok with
+  | Some f -> f
+  | None -> fail start (Printf.sprintf "bad number %S" tok)
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c.pos "unexpected end of input"
+  | Some '{' ->
+    c.pos <- c.pos + 1;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      c.pos <- c.pos + 1;
+      Obj []
+    end
+    else
+      let rec fields acc =
+        skip_ws c;
+        let key = parse_string c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          c.pos <- c.pos + 1;
+          fields ((key, v) :: acc)
+        | Some '}' ->
+          c.pos <- c.pos + 1;
+          Obj (List.rev ((key, v) :: acc))
+        | _ -> fail c.pos "expected ',' or '}'"
+      in
+      fields []
+  | Some '[' ->
+    c.pos <- c.pos + 1;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      c.pos <- c.pos + 1;
+      Arr []
+    end
+    else
+      let rec items acc =
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          c.pos <- c.pos + 1;
+          items (v :: acc)
+        | Some ']' ->
+          c.pos <- c.pos + 1;
+          Arr (List.rev (v :: acc))
+        | _ -> fail c.pos "expected ',' or ']'"
+      in
+      items []
+  | Some '"' -> Str (parse_string c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some ('-' | '0' .. '9') -> Num (parse_number c)
+  | Some ch -> fail c.pos (Printf.sprintf "unexpected %C" ch)
+
+let parse s =
+  let c = { s; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length s then fail c.pos "trailing garbage";
+  v
+
+let parse_file file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))
+
+(* ---------- printer ---------- *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | ch when Char.code ch < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code ch))
+      | ch -> Buffer.add_char b ch)
+    s;
+  Buffer.contents b
+
+let add_num b f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.bprintf b "%.0f" f
+  else Printf.bprintf b "%.17g" f
+
+let to_string v =
+  let b = Buffer.create 256 in
+  let rec go = function
+    | Null -> Buffer.add_string b "null"
+    | Bool x -> Buffer.add_string b (string_of_bool x)
+    | Num f -> add_num b f
+    | Str s -> Printf.bprintf b "\"%s\"" (escape s)
+    | Arr items ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char b ',';
+          go v)
+        items;
+      Buffer.add_char b ']'
+    | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Printf.bprintf b "\"%s\":" (escape k);
+          go v)
+        fields;
+      Buffer.add_char b '}'
+  in
+  go v;
+  Buffer.contents b
+
+(* ---------- accessors ---------- *)
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+let to_float = function Num f -> Some f | _ -> None
+
+let to_int = function
+  | Num f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None
+let to_list = function Arr items -> Some items | _ -> None
+let to_assoc = function Obj fields -> Some fields | _ -> None

@@ -1,0 +1,50 @@
+(** Minimal JSON value type, parser and printer.
+
+    The repo deliberately carries no third-party JSON dependency; every
+    producer (engine traces, bench emitters, span reports) hand-rolls its
+    output. This module is the matching {e consumer}: a small
+    recursive-descent parser plus a printer, enough for the regression
+    comparator ([bench/regress.exe]) and the schema-checking tests to read
+    back what the repo writes.
+
+    Numbers are represented as [float] (like every mainstream OCaml JSON
+    AST); integer-valued numbers print without a decimal point, other
+    floats print with ["%.17g"] so [parse (to_string v) = v] for finite
+    values. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Raised by {!parse} / {!parse_file} with a message containing the
+    0-based byte offset of the offending input. *)
+
+val parse : string -> t
+(** Parse one JSON value (trailing whitespace allowed, trailing garbage
+    rejected). The standard backslash escapes and [\uXXXX] are decoded
+    ([\uXXXX] to UTF-8, surrogate pairs unsupported — the repo never
+    emits them). *)
+
+val parse_file : string -> t
+(** [parse] on a whole file. Raises [Sys_error] on IO failure. *)
+
+val to_string : t -> string
+(** Compact single-line rendering. *)
+
+(** {1 Accessors} — total lookups returning [option]. *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]; [None] on missing field or non-object. *)
+
+val to_float : t -> float option
+val to_int : t -> int option
+(** [Num] with an integral value only. *)
+
+val to_str : t -> string option
+val to_list : t -> t list option
+val to_assoc : t -> (string * t) list option

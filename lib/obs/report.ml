@@ -1,0 +1,91 @@
+let schema_version = 1
+
+let rec span_json s =
+  let opt name fields = if fields = [] then [] else [ (name, Json.Obj fields) ] in
+  let strs kvs = List.map (fun (k, v) -> (k, Json.Str v)) kvs in
+  let nums kvs = List.map (fun (k, v) -> (k, Json.Num (float_of_int v))) kvs in
+  let children = Span.children s in
+  Json.Obj
+    ([
+       ("name", Json.Str (Span.name s));
+       ("elapsed_s", Json.Num (Span.elapsed_s s));
+     ]
+    @ opt "attrs" (strs (Span.attrs s))
+    @ opt "counters" (nums (Span.counters s))
+    @ opt "rounds" (nums (Span.rounds s))
+    @ [
+        ("rounds_self", Json.Num (float_of_int (Span.rounds_self s)));
+        ("rounds_total", Json.Num (float_of_int (Span.rounds_total s)));
+      ]
+    @
+    if children = [] then []
+    else [ ("children", Json.Arr (List.map span_json children)) ])
+
+let to_json s =
+  Json.Obj
+    [
+      ("tl_obs_report", Json.Num (float_of_int schema_version));
+      ("span", span_json s);
+    ]
+
+let json_string s = Json.to_string (to_json s) ^ "\n"
+
+let write_json ~file s =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (json_string s))
+
+let pp_tree ppf root =
+  let rec pp depth s =
+    let indent = String.make (2 * depth) ' ' in
+    let label = indent ^ Span.name s in
+    Format.fprintf ppf "%-40s %9.4fs" label (Span.elapsed_s s);
+    let total = Span.rounds_total s in
+    if total > 0 || Span.rounds s <> [] then
+      Format.fprintf ppf "  rounds %-6d" total;
+    List.iter
+      (fun (k, v) -> Format.fprintf ppf "  %s=%d" k v)
+      (Span.counters s);
+    List.iter
+      (fun (k, v) -> Format.fprintf ppf "  %s=%s" k v)
+      (Span.attrs s);
+    Format.pp_print_newline ppf ();
+    List.iter (pp (depth + 1)) (Span.children s)
+  in
+  pp 0 root
+
+let flatten root =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let rec go prefix s =
+    let path =
+      if prefix = "" then Span.name s else prefix ^ "/" ^ Span.name s
+    in
+    let path =
+      match Hashtbl.find_opt seen path with
+      | None ->
+        Hashtbl.add seen path 1;
+        path
+      | Some k ->
+        Hashtbl.replace seen path (k + 1);
+        Printf.sprintf "%s#%d" path k
+    in
+    acc := (path, s) :: !acc;
+    List.iter (go path) (Span.children s)
+  in
+  go "" root;
+  List.rev !acc
+
+let to_csv root =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "path,depth,elapsed_s,rounds_self,rounds_total\n";
+  List.iter
+    (fun (path, s) ->
+      let depth =
+        String.fold_left (fun n ch -> if ch = '/' then n + 1 else n) 0 path
+      in
+      Printf.bprintf b "%s,%d,%.6f,%d,%d\n" path depth (Span.elapsed_s s)
+        (Span.rounds_self s) (Span.rounds_total s))
+    (flatten root);
+  Buffer.contents b

@@ -1,0 +1,51 @@
+(** Run reports: rendering a finished {!Span} tree for humans, files and
+    the regression comparator.
+
+    {2 JSON schema (version 1)}
+
+    {v
+    { "tl_obs_report": 1,
+      "span": {
+        "name": "solve",
+        "elapsed_s": 0.1432,
+        "attrs": { "problem": "mis", "engine": "seq" },      // if any
+        "counters": { "violations": 0 },                     // if any
+        "rounds": { "decompose": 6 },                        // if any
+        "rounds_self": 6,
+        "rounds_total": 93,
+        "children": [ ... ]                                  // if any
+      } }
+    v}
+
+    [rounds] holds the paper-accounted LOCAL round charges bridged from
+    {!Tl_local.Round_cost}; [rounds_total] folds in all descendants.
+    Engine runs appear as children named ["engine:<label>"] whose
+    measured rounds/steps live in [counters] (see {!Span.add_trace}).
+    [bench/regress.exe] aligns spans of two reports by their
+    slash-joined path of names. *)
+
+val schema_version : int
+
+val to_json : Span.t -> Json.t
+
+val json_string : Span.t -> string
+(** [to_json] rendered compactly, newline-terminated. *)
+
+val write_json : file:string -> Span.t -> unit
+(** Raises [Sys_error] on IO failure (callers decide whether that is
+    fatal; the CLI downgrades it to a warning). *)
+
+val pp_tree : Format.formatter -> Span.t -> unit
+(** Human-readable indented tree: name, elapsed seconds, round totals,
+    counters and attrs per span. *)
+
+val to_csv : Span.t -> string
+(** Flat per-span rows
+    [path,depth,elapsed_s,rounds_self,rounds_total] with a header line;
+    [path] is the slash-joined span names from the root. *)
+
+val flatten : Span.t -> (string * Span.t) list
+(** Pre-order [(path, span)] rows, the alignment key space used by the
+    CSV output and the regression comparator. Duplicate paths (several
+    engine runs inside one phase) get a ["#k"] suffix, k counting from 1
+    for the second occurrence. *)

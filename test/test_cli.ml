@@ -1,0 +1,179 @@
+(* End-to-end CLI tests run as subprocesses: profiling/report flags,
+   graceful degradation on unwritable output paths, clean usage errors,
+   and the regression comparator's exit-code contract. *)
+
+module Json = Tl_obs.Json
+
+let cli = "../bin/tree_local_cli.exe"
+let regress = "../bench/regress.exe"
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Run a command, returning (exit_code, stdout, stderr). *)
+let run_cmd cmd_line =
+  let out_f = Filename.temp_file "tl_cli_out" ".txt" in
+  let err_f = Filename.temp_file "tl_cli_err" ".txt" in
+  let code =
+    Sys.command (Printf.sprintf "%s >%s 2>%s" cmd_line (Filename.quote out_f)
+        (Filename.quote err_f))
+  in
+  let slurp f =
+    let ic = open_in_bin f in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Sys.remove f;
+    s
+  in
+  (code, slurp out_f, slurp err_f)
+
+let solve_args = "solve --problem mis --family random-tree --n 60 --seed 7"
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_profile_writes_report () =
+  let out = Filename.temp_file "tl_profile" ".json" in
+  let code, stdout, _ =
+    run_cmd (Printf.sprintf "%s %s --profile %s" cli solve_args out)
+  in
+  check_int "exit 0" 0 code;
+  check "solution reported valid" true (contains ~needle:"valid" stdout);
+  let j = Json.parse_file out in
+  Sys.remove out;
+  check "schema marker" true
+    (Option.bind (Json.member "tl_obs_report" j) Json.to_int = Some 1);
+  let span = Option.get (Json.member "span" j) in
+  check "root span is solve" true
+    (Option.bind (Json.member "name" span) Json.to_str = Some "solve");
+  let attrs =
+    Option.value ~default:[]
+      (Option.bind (Json.member "attrs" span) Json.to_assoc)
+  in
+  check "problem attr" true
+    (List.assoc_opt "problem" attrs = Some (Json.Str "mis"));
+  let child_names =
+    Option.bind (Json.member "children" span) Json.to_list
+    |> Option.value ~default:[]
+    |> List.filter_map (fun c -> Option.bind (Json.member "name" c) Json.to_str)
+  in
+  List.iter
+    (fun phase ->
+      check (phase ^ " phase present") true (List.mem phase child_names))
+    [ "instance"; "decompose"; "base"; "gather-solve"; "validate" ]
+
+let test_report_tree_stdout () =
+  let code, stdout, _ =
+    run_cmd (Printf.sprintf "%s %s --report tree" cli solve_args)
+  in
+  check_int "exit 0" 0 code;
+  check "tree lists decompose" true (contains ~needle:"decompose" stdout);
+  check "tree lists rounds" true (contains ~needle:"rounds" stdout)
+
+let test_profile_unwritable_dir_is_usage_error () =
+  (* parse-time validation: parent directory must exist *)
+  let code, _, stderr =
+    run_cmd
+      (Printf.sprintf "%s %s --profile /nonexistent-dir-xyz/p.json" cli
+         solve_args)
+  in
+  check_int "cmdliner usage error" 124 code;
+  check "mentions directory" true (contains ~needle:"nonexistent-dir-xyz" stderr)
+
+let test_trace_unwritable_warns_not_fails () =
+  (* --trace degrades to a warning when the file cannot be written *)
+  let code, _, stderr =
+    run_cmd
+      (Printf.sprintf "%s %s --engine seq --trace /nonexistent-dir-xyz/t.json"
+         cli solve_args)
+  in
+  check_int "still exit 0" 0 code;
+  check "warns on stderr" true (contains ~needle:"cannot write" stderr)
+
+let test_bad_engine_is_usage_error () =
+  let code, _, stderr =
+    run_cmd (Printf.sprintf "%s %s --engine warp" cli solve_args)
+  in
+  check_int "cmdliner usage error" 124 code;
+  check "names the bad value" true (contains ~needle:"warp" stderr)
+
+(* ---------- regress.exe ---------- *)
+
+let write_file path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
+let bench_json wall =
+  Printf.sprintf
+    {|{"bench":"engine","n":100,"seed":1,"cores":1,"kernels":[
+ {"kernel":"cv3","deterministic":true,"modes":[
+  {"mode":"naive","domains":1,"wall_s":%f,"rounds":5,"steps":10,"speedup_vs_naive":1.0}]}]}|}
+    wall
+
+let test_regress_identical_passes () =
+  let f = Filename.temp_file "tl_bench" ".json" in
+  write_file f (bench_json 0.5);
+  let code, stdout, _ = run_cmd (Printf.sprintf "%s %s %s" regress f f) in
+  Sys.remove f;
+  check_int "exit 0 on identical" 0 code;
+  check "prints PASS" true (contains ~needle:"PASS" stdout)
+
+let test_regress_detects_regression () =
+  let old_f = Filename.temp_file "tl_bench_old" ".json" in
+  let new_f = Filename.temp_file "tl_bench_new" ".json" in
+  write_file old_f (bench_json 0.5);
+  write_file new_f (bench_json 5.0);
+  let code, stdout, _ =
+    run_cmd (Printf.sprintf "%s %s %s" regress old_f new_f)
+  in
+  check_int "exit 1 on regression" 1 code;
+  check "prints FAIL" true (contains ~needle:"FAIL" stdout);
+  (* a generous tolerance turns the same delta into a pass *)
+  let code_ok, _, _ =
+    run_cmd (Printf.sprintf "%s --tolerance 10.0 %s %s" regress old_f new_f)
+  in
+  Sys.remove old_f;
+  Sys.remove new_f;
+  check_int "tolerance rescues" 0 code_ok
+
+let test_regress_usage_and_parse_errors () =
+  let code, _, _ = run_cmd (Printf.sprintf "%s onlyone.json" regress) in
+  check_int "usage error" 2 code;
+  let bad = Filename.temp_file "tl_bad" ".json" in
+  write_file bad "{not json";
+  let code', _, stderr =
+    run_cmd (Printf.sprintf "%s %s %s" regress bad bad)
+  in
+  Sys.remove bad;
+  check_int "parse error exit 2" 2 code';
+  check "reports parse failure" true (contains ~needle:"parse" stderr)
+
+let () =
+  Alcotest.run "tl_cli"
+    [
+      ( "profile",
+        [
+          Alcotest.test_case "--profile writes schema-valid report" `Quick
+            test_profile_writes_report;
+          Alcotest.test_case "--report tree prints phases" `Quick
+            test_report_tree_stdout;
+          Alcotest.test_case "--profile bad dir -> usage error" `Quick
+            test_profile_unwritable_dir_is_usage_error;
+          Alcotest.test_case "--trace bad dir -> warning only" `Quick
+            test_trace_unwritable_warns_not_fails;
+          Alcotest.test_case "--engine bad value -> usage error" `Quick
+            test_bad_engine_is_usage_error;
+        ] );
+      ( "regress",
+        [
+          Alcotest.test_case "identical inputs pass" `Quick
+            test_regress_identical_passes;
+          Alcotest.test_case "slowdown fails, tolerance rescues" `Quick
+            test_regress_detects_regression;
+          Alcotest.test_case "usage and parse errors exit 2" `Quick
+            test_regress_usage_and_parse_errors;
+        ] );
+    ]

@@ -372,6 +372,62 @@ let test_trace_sink () =
   check "sink trace measured rounds" true
     ((Trace.metrics (List.hd !got)).Trace.rounds > 0)
 
+let test_trace_zero_rounds () =
+  (* a trace that never recorded a round: every metric must be defined,
+     in particular naive_steps = 0 must not blow up step_savings in the
+     JSON (it prints 0, not nan/inf) *)
+  let tr = Trace.create ~label:"empty" () in
+  Trace.set_meta tr ~mode:"seq" ~scheduling:"active-set" ~n_base:10
+    ~n_present:0;
+  Trace.finish tr ~total_s:0.0;
+  let m = Trace.metrics tr in
+  check_int "rounds" 0 m.Trace.rounds;
+  check_int "steps" 0 m.Trace.steps;
+  check_int "naive_steps" 0 m.Trace.naive_steps;
+  check_int "max_active" 0 m.Trace.max_active;
+  let j = Tl_obs.Json.parse (Trace.to_json tr) in
+  let metrics = Option.get (Tl_obs.Json.member "metrics" j) in
+  check "step_savings finite" true
+    (Option.bind (Tl_obs.Json.member "step_savings" metrics) Tl_obs.Json.to_float
+    = Some 0.);
+  check "n_present 0 serialized" true
+    (Option.bind (Tl_obs.Json.member "n_present" j) Tl_obs.Json.to_int = Some 0);
+  check "empty rounds_detail" true
+    (Option.bind (Tl_obs.Json.member "rounds_detail" j) Tl_obs.Json.to_list
+    = Some [])
+
+let test_trace_json_roundtrip () =
+  (* rounds_detail through a real parser: tracked fields present,
+     untracked (-1) fields omitted per the schema doc in trace.mli *)
+  let tr = Trace.create ~label:"rt" () in
+  Trace.set_meta tr ~mode:"naive" ~scheduling:"full-scan" ~n_base:4
+    ~n_present:4;
+  Trace.record tr
+    { Trace.round = 1; active = 4; changed = 2; unhalted = 3; wall_s = 0.5 };
+  Trace.record tr
+    { Trace.round = 2; active = 3; changed = -1; unhalted = -1; wall_s = 0.25 };
+  Trace.finish tr ~total_s:1.0;
+  let open Tl_obs.Json in
+  let j = parse (Trace.to_json tr) in
+  let detail = Option.get (Option.bind (member "rounds_detail" j) to_list) in
+  check_int "two detail rows" 2 (List.length detail);
+  let r1 = List.nth detail 0 and r2 = List.nth detail 1 in
+  check "r1 changed present" true
+    (Option.bind (member "changed" r1) to_int = Some 2);
+  check "r1 unhalted present" true
+    (Option.bind (member "unhalted" r1) to_int = Some 3);
+  check "r1 wall_s" true (Option.bind (member "wall_s" r1) to_float = Some 0.5);
+  check "r2 changed omitted" true (member "changed" r2 = None);
+  check "r2 unhalted omitted" true (member "unhalted" r2 = None);
+  check "r2 active" true (Option.bind (member "active" r2) to_int = Some 3);
+  check "label round-trips" true
+    (Option.bind (member "label" j) to_str = Some "rt");
+  (* the accessors added for the span bridge *)
+  check "mode accessor" true (Trace.mode tr = "naive");
+  check "scheduling accessor" true (Trace.scheduling tr = "full-scan");
+  check_int "n_base accessor" 4 (Trace.n_base tr);
+  check_int "n_present accessor" 4 (Trace.n_present tr)
+
 (* ---------- mode parsing ---------- *)
 
 let test_mode_strings () =
@@ -421,6 +477,10 @@ let () =
           Alcotest.test_case "metrics and ledger bridge" `Quick
             test_trace_metrics;
           Alcotest.test_case "global sink" `Quick test_trace_sink;
+          Alcotest.test_case "zero-round metrics" `Quick
+            test_trace_zero_rounds;
+          Alcotest.test_case "rounds_detail json round-trip" `Quick
+            test_trace_json_roundtrip;
         ] );
       ("modes", [ Alcotest.test_case "parsing" `Quick test_mode_strings ]);
     ]
