@@ -19,7 +19,9 @@ bench-smoke:
 	dune exec bench/main.exe -- E11
 	cp BENCH_engine.json bench-baseline.json
 	TL_ENGINE_BENCH_N=2000 TL_ENGINE_BENCH_KERNELS=cv3 dune exec bench/main.exe -- B6
+	TL_POOL_BENCH_N=2000 dune exec bench/main.exe -- B7
 	dune exec bench/regress.exe -- --tolerance 5.0 bench-baseline.json BENCH_engine.json
+	dune exec examples/quickstart.exe
 
 clean:
 	dune clean

@@ -271,6 +271,225 @@ let run_engine () =
   emit_engine_json ~file:"BENCH_engine.json" ~n ~seed kernels;
   Printf.printf "wrote BENCH_engine.json\n"
 
+(* ---------- B7: component-solve pool (merges into BENCH_engine.json) ----------
+
+   Times the sequential vs pooled Theorem 12 / Theorem 15 executions —
+   the per-component gather-solve and the per-star Π* solving fanned
+   over OCaml domains — and merges the measurements into
+   BENCH_engine.json (same schema as B6, so bench/regress.exe gates
+   both). Pool widths beyond the host's core count measure the pool's
+   overhead honestly rather than a speedup. Sizes are overridable via
+   TL_POOL_BENCH_N (CI smoke runs one small size; its kernel index 0
+   still aligns with the committed baseline's first size). *)
+
+module Graph = Tl_graph.Graph
+module Json = Tl_obs.Json
+module Theorem1 = Tl_core.Theorem1
+module Theorem2 = Tl_core.Theorem2
+
+let pool_sizes () =
+  match Option.bind (Sys.getenv_opt "TL_POOL_BENCH_N") int_of_string_opt with
+  | Some n when n > 0 -> [ n ]
+  | _ -> [ 100_000; 500_000; 1_000_000 ]
+
+let pool_widths = [ 1; 2; 4 ]
+
+type pool_row = {
+  width : int;
+  pool_wall_s : float;
+  total_rounds : int;
+  identical : bool;  (* labeling bit-identical to the width-1 run *)
+}
+
+(* Best-of-[reps]; clears the topology compile cache before every run so
+   each width starts cold and repeated runs don't pin big snapshots. *)
+let bench_pool_widths ~reps ~run ~labels =
+  let time w =
+    let best = ref infinity and result = ref None in
+    for _ = 1 to reps do
+      Topology.clear_cache ();
+      let t0 = Unix.gettimeofday () in
+      let r = run w in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      result := Some r
+    done;
+    (Option.get !result, !best)
+  in
+  let (seq_labels, seq_rounds), seq_t = time 1 in
+  { width = 1; pool_wall_s = seq_t; total_rounds = seq_rounds;
+    identical = true }
+  :: List.filter_map
+       (fun w ->
+         if w = 1 then None
+         else begin
+           let (l, rounds), t = time w in
+           Some
+             {
+               width = w;
+               pool_wall_s = t;
+               total_rounds = rounds;
+               identical = labels l = labels seq_labels;
+             }
+         end)
+       pool_widths
+
+let pool_kernel_json ~name ~n rows =
+  let seq_t = (List.find (fun r -> r.width = 1) rows).pool_wall_s in
+  Json.Obj
+    [
+      ("kernel", Json.Str name);
+      ("n", Json.Num (float_of_int n));
+      ("deterministic", Json.Bool (List.for_all (fun r -> r.identical) rows));
+      ( "modes",
+        Json.Arr
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [
+                   ( "mode",
+                     Json.Str
+                       (if r.width = 1 then "seq"
+                        else Printf.sprintf "pool:%d" r.width) );
+                   ("domains", Json.Num (float_of_int r.width));
+                   ("wall_s", Json.Num r.pool_wall_s);
+                   ("rounds", Json.Num (float_of_int r.total_rounds));
+                   ( "speedup_vs_seq",
+                     Json.Num
+                       (if r.pool_wall_s > 0. then seq_t /. r.pool_wall_s
+                        else 0.) );
+                 ])
+             rows) );
+    ]
+
+(* Rewrite [file] with [kernels] merged in: existing kernels keep their
+   place, same-named ones are replaced. A missing or unreadable file
+   degrades to a fresh header. *)
+let merge_into_engine_json ~file kernels =
+  let fresh =
+    [
+      ("bench", Json.Str "engine");
+      ( "cores",
+        Json.Num (float_of_int (Domain.recommended_domain_count ())) );
+    ]
+  in
+  let base_fields =
+    if Sys.file_exists file then
+      match Json.parse_file file with
+      | Json.Obj fields -> fields
+      | _ -> fresh
+      | exception _ -> fresh
+    else fresh
+  in
+  let new_names =
+    List.filter_map
+      (fun k -> Option.bind (Json.member "kernel" k) Json.to_str)
+      kernels
+  in
+  let kept =
+    Option.bind (List.assoc_opt "kernels" base_fields) Json.to_list
+    |> Option.value ~default:[]
+    |> List.filter (fun k ->
+           match Option.bind (Json.member "kernel" k) Json.to_str with
+           | Some name -> not (List.mem name new_names)
+           | None -> true)
+  in
+  let fields =
+    List.remove_assoc "kernels" base_fields
+    @ [ ("kernels", Json.Arr (kept @ kernels)) ]
+  in
+  let oc = open_out file in
+  output_string oc (Json.to_string (Json.Obj fields));
+  output_char oc '\n';
+  close_out oc
+
+let run_pool () =
+  let sizes = pool_sizes () in
+  Util.heading
+    (Printf.sprintf
+       "B7: component-solve pool — sequential vs pooled Theorem 12/15 (n in \
+        {%s}, host cores %d)"
+       (String.concat ", " (List.map string_of_int sizes))
+       (Domain.recommended_domain_count ()));
+  let mis_spec =
+    {
+      Theorem1.problem = Tl_problems.Mis.problem;
+      base_algorithm = Tl_symmetry.Algos.mis;
+      solve_edge_list = Tl_problems.Mis.solve_edge_list;
+    }
+  in
+  let matching_spec =
+    {
+      Theorem2.problem = Tl_problems.Matching.problem;
+      base_algorithm = Tl_symmetry.Algos.maximal_matching;
+      solve_node_list = Tl_problems.Matching.solve_node_list;
+    }
+  in
+  let labels g l = List.init (Graph.n_half_edges g) (Labeling.get l) in
+  let kernels =
+    List.concat
+      (List.mapi
+         (fun i n ->
+           let reps = if n >= 500_000 then 1 else 2 in
+           let ids = Ids.permuted ~n ~seed:79 in
+           let tree = Gen.random_tree ~n ~seed:71 in
+           let t1_rows =
+             bench_pool_widths ~reps
+               ~run:(fun w ->
+                 let r =
+                   Theorem1.run ~workers:w ~spec:mis_spec ~tree ~ids
+                     ~f:Tl_core.Complexity.f_linear ()
+                 in
+                 (r.Theorem1.labeling, Tl_local.Round_cost.total r.Theorem1.cost))
+               ~labels:(labels tree)
+           in
+           let graph = Gen.forest_union ~n ~arboricity:2 ~seed:73 in
+           let t2_rows =
+             bench_pool_widths ~reps
+               ~run:(fun w ->
+                 let r =
+                   Theorem2.run ~workers:w ~spec:matching_spec ~graph ~a:2 ~ids
+                     ~f:Tl_core.Complexity.f_linear ()
+                 in
+                 (r.Theorem2.labeling, Tl_local.Round_cost.total r.Theorem2.cost))
+               ~labels:(labels graph)
+           in
+           [
+             (Printf.sprintf "t1-mis-pool.%d" i, n, t1_rows);
+             (Printf.sprintf "t2-matching-pool.%d" i, n, t2_rows);
+           ])
+         sizes)
+  in
+  let rows =
+    List.concat_map
+      (fun (name, n, rows) ->
+        let seq_t = (List.find (fun r -> r.width = 1) rows).pool_wall_s in
+        List.map
+          (fun r ->
+            [
+              name;
+              Util.i n;
+              (if r.width = 1 then "seq" else Printf.sprintf "pool:%d" r.width);
+              Util.i r.total_rounds;
+              Printf.sprintf "%.4f" r.pool_wall_s;
+              Printf.sprintf "%.2fx"
+                (if r.pool_wall_s > 0. then seq_t /. r.pool_wall_s else 0.);
+              Util.pass_fail r.identical;
+            ])
+          rows)
+      kernels
+  in
+  Util.table
+    ~header:[ "kernel"; "n"; "mode"; "rounds"; "wall s"; "vs seq"; "identical" ]
+    rows;
+  let hits, misses = Topology.cache_stats () in
+  Printf.printf "\ntopology compile cache over this process: %d hit(s), %d miss(es)\n"
+    hits misses;
+  merge_into_engine_json ~file:"BENCH_engine.json"
+    (List.map (fun (name, n, rows) -> pool_kernel_json ~name ~n rows) kernels);
+  Printf.printf "merged %d pool kernels into BENCH_engine.json\n"
+    (List.length kernels)
+
 let run () =
   Util.heading "B1-B5: kernel wall-clock microbenchmarks (Bechamel)";
   let cfg =

@@ -25,6 +25,7 @@ let experiments =
     ("A", "ablations: k, rho, b, ID schemes", Exp_ablation.run);
     ("B", "kernel wall-clock microbenchmarks", Kernel_bench.run);
     ("B6", "engine: naive vs active-set vs parallel stepping", Kernel_bench.run_engine);
+    ("B7", "component-solve pool: sequential vs pooled Theorem 12/15", Kernel_bench.run_pool);
   ]
 
 let () =

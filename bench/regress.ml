@@ -1,14 +1,21 @@
 (* regress: bench/report regression comparator.
 
    Usage:
-     regress.exe [--tolerance FRAC] OLD.json NEW.json
+     regress.exe [--tolerance FRAC] [--abs-tolerance SECS] OLD.json NEW.json
 
    Loads two measurement files, aligns their kernels/spans by label and
-   prints a per-label PASS/FAIL delta table. A label FAILs when its
-   wall-clock in NEW exceeds OLD by more than the tolerance
-   (new > old * (1 + FRAC), default 0.20). Exit status: 0 when every
-   aligned label passes, 1 on any regression, 2 on usage/parse errors —
-   so CI can gate on it.
+   prints a per-label PASS/FAIL delta table. A label passes when its
+   wall-clock in NEW is within the relative tolerance
+   (new <= old * (1 + FRAC), default 0.20) OR within the absolute
+   tolerance (new <= old + SECS, default 0.005). The absolute fallback is
+   the timer-noise floor: a zero or near-zero baseline would otherwise
+   fail on any positive measurement, however tiny. With a zero baseline
+   the delta column shows seconds instead of a (undefined) percentage.
+   A non-finite metric — JSON null, which the repo's writers emit for
+   nan/inf — always FAILs its row: a measurement that produced garbage
+   must not pass a gate silently. Exit status: 0 when every aligned label
+   passes, 1 on any regression, 2 on usage/parse errors — so CI can gate
+   on it.
 
    Three self-describing input formats are recognized:
      - BENCH_engine.json   (bench/kernel_bench.ml B6): labels are
@@ -23,7 +30,9 @@
 module Json = Tl_obs.Json
 
 let usage () =
-  prerr_endline "usage: regress.exe [--tolerance FRAC] OLD.json NEW.json";
+  prerr_endline
+    "usage: regress.exe [--tolerance FRAC] [--abs-tolerance SECS] OLD.json \
+     NEW.json";
   exit 2
 
 let die fmt = Printf.ksprintf (fun msg -> prerr_endline ("regress: " ^ msg); exit 2) fmt
@@ -31,9 +40,12 @@ let die fmt = Printf.ksprintf (fun msg -> prerr_endline ("regress: " ^ msg); exi
 (* ---------- extraction: (label, seconds) rows per format ---------- *)
 
 let num_field name j =
-  match Option.bind (Json.member name j) Json.to_float with
-  | Some f -> f
-  | None -> die "missing numeric field %S" name
+  match Json.member name j with
+  | Some (Json.Num f) -> f
+  (* null is what the Json printer emits for nan/inf: keep the row and
+     let the comparison fail it rather than dying with "missing field" *)
+  | Some Json.Null -> Float.nan
+  | _ -> die "missing numeric field %S" name
 
 let str_field name j =
   match Option.bind (Json.member name j) Json.to_str with
@@ -105,6 +117,7 @@ let rows_of_file file =
 
 let () =
   let tolerance = ref 0.20 in
+  let abs_tolerance = ref 0.005 in
   let files = ref [] in
   let rec parse_args = function
     | [] -> ()
@@ -114,6 +127,12 @@ let () =
         tolerance := f;
         parse_args rest
       | _ -> die "invalid tolerance %S" v)
+    | "--abs-tolerance" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some f when f >= 0. && Float.is_finite f ->
+        abs_tolerance := f;
+        parse_args rest
+      | _ -> die "invalid absolute tolerance %S" v)
     | "--help" :: _ -> usage ()
     | f :: rest ->
       files := f :: !files;
@@ -124,8 +143,10 @@ let () =
     match List.rev !files with [ o; n ] -> (o, n) | _ -> usage ()
   in
   let old_rows = rows_of_file old_file and new_rows = rows_of_file new_file in
-  Printf.printf "regress: %s -> %s (tolerance +%.1f%%)\n" old_file new_file
-    (100. *. !tolerance);
+  Printf.printf "regress: %s -> %s (tolerance +%.1f%% or +%.3fs)\n" old_file
+    new_file
+    (100. *. !tolerance)
+    !abs_tolerance;
   Printf.printf "  %-44s %10s %10s %8s  %s\n" "label" "old_s" "new_s" "delta"
     "status";
   let regressions = ref 0 and compared = ref 0 in
@@ -135,12 +156,23 @@ let () =
       | None -> Printf.printf "  %-44s %10.4f %10s %8s  only-in-old\n" label old_s "-" "-"
       | Some new_s ->
         incr compared;
-        let delta = if old_s > 0. then (new_s -. old_s) /. old_s else 0. in
-        let ok = new_s <= old_s *. (1. +. !tolerance) in
+        let finite = Float.is_finite old_s && Float.is_finite new_s in
+        let ok =
+          finite
+          && (new_s <= old_s *. (1. +. !tolerance)
+             || new_s <= old_s +. !abs_tolerance)
+        in
         if not ok then incr regressions;
-        Printf.printf "  %-44s %10.4f %10.4f %+7.1f%%  %s\n" label old_s new_s
-          (100. *. delta)
-          (if ok then "PASS" else "FAIL"))
+        let delta =
+          if not finite then "n/a"
+          else if old_s > 0. then
+            Printf.sprintf "%+7.1f%%" (100. *. ((new_s -. old_s) /. old_s))
+          else Printf.sprintf "%+7.4fs" (new_s -. old_s)
+        in
+        Printf.printf "  %-44s %10.4f %10.4f %8s  %s\n" label old_s new_s delta
+          (if ok then "PASS"
+           else if finite then "FAIL"
+           else "FAIL(non-finite)"))
     old_rows;
   List.iter
     (fun (label, new_s) ->

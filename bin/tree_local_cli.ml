@@ -67,6 +67,23 @@ let engine_arg =
   in
   Arg.(value & opt mode Engine.Seq & info [ "engine" ] ~docv:"MODE" ~doc)
 
+let pool_arg =
+  let doc =
+    "Component-solve pool width: fan the per-component gather-solve of \
+     Theorem 12 and the per-star solving of Theorem 15 over $(docv) \
+     OCaml domains (deterministic fixed chunking; results are \
+     bit-identical to --pool 1)."
+  in
+  let workers =
+    let parse s =
+      match int_of_string_opt s with
+      | Some p when p >= 1 -> Ok p
+      | _ -> Error (`Msg (Printf.sprintf "invalid pool size %S (expected N >= 1)" s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(value & opt workers 1 & info [ "pool" ] ~docv:"N" ~doc)
+
 let trace_arg =
   let doc =
     "Profile every engine-backed execution: write the per-round traces \
@@ -262,9 +279,10 @@ let report name (r : _ Pipeline.report) =
     exit 1
   end
 
-let solve problem method_ family n seed a delta k engine trace profile
+let solve problem method_ family n seed a delta k engine pool trace profile
     report_fmt =
   setup_engine engine trace;
+  Tl_engine.Pool.default_workers := pool;
   setup_profile profile report_fmt;
   Span.set_attr "problem" problem;
   Span.set_attr "method" method_;
@@ -272,6 +290,7 @@ let solve problem method_ family n seed a delta k engine trace profile
   Span.set_attr "n" (string_of_int n);
   Span.set_attr "seed" (string_of_int seed);
   Span.set_attr "engine" (Engine.mode_to_string engine);
+  Span.set_attr "pool" (string_of_int pool);
   let g = Span.with_span "instance" (fun () -> build_instance family n seed a delta) in
   let ids = Ids.permuted ~n:(Graph.n_nodes g) ~seed:(seed + 1) in
   let must_tree name =
@@ -317,8 +336,8 @@ let solve_cmd =
   Cmd.v (Cmd.info "solve" ~doc)
     Term.(
       const solve $ problem_arg $ method_arg $ family_arg $ n_arg $ seed_arg
-      $ a_arg $ delta_arg $ k_arg $ engine_arg $ trace_arg $ profile_arg
-      $ report_fmt_arg)
+      $ a_arg $ delta_arg $ k_arg $ engine_arg $ pool_arg $ trace_arg
+      $ profile_arg $ report_fmt_arg)
 
 (* ---------- decompose ---------- *)
 

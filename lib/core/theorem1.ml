@@ -4,6 +4,7 @@ module Labeling = Tl_problems.Labeling
 module Round_cost = Tl_local.Round_cost
 module Rake_compress = Tl_decompose.Rake_compress
 module Span = Tl_obs.Span
+module Pool = Tl_engine.Pool
 
 type 'l spec = {
   problem : 'l Tl_problems.Nec.t;
@@ -20,8 +21,32 @@ type 'l result = {
   k : int;
 }
 
-let run ?(check_invariants = false) ?k ~spec ~tree ~ids ~f () =
+(* Debug-mode owner check for the pooled gather-solve: every half-edge a
+   component's solver may write is claimed by exactly one component
+   (components are node-disjoint and a node's half-edges belong to it
+   alone), so concurrent [solve_edge_list] calls never collide. Verifies
+   that claim explicitly before fanning out. *)
+let assert_disjoint_owners tree components =
+  let owner = Array.make (Graph.n_half_edges tree) (-1) in
+  Array.iteri
+    (fun c component ->
+      List.iter
+        (fun v ->
+          List.iter
+            (fun h ->
+              if owner.(h) >= 0 then
+                failwith
+                  (Printf.sprintf
+                     "Theorem1: half-edge %d owned by components %d and %d" h
+                     owner.(h) c);
+              owner.(h) <- c)
+            (Graph.half_edges_of tree v))
+        component)
+    components
+
+let run ?(check_invariants = false) ?workers ?k ~spec ~tree ~ids ~f () =
   let n = Graph.n_nodes tree in
+  let pool = Pool.create ?workers () in
   let k =
     match k with Some k -> k | None -> Complexity.choose_k ~f ~n
   in
@@ -53,13 +78,17 @@ let run ?(check_invariants = false) ?k ~spec ~tree ~ids ~f () =
   (* Phase 3: gather-and-solve Π× on each component of T_R (line 2). All
      components are processed in parallel; the LOCAL cost is the largest
      gather+redistribute distance, i.e. twice the eccentricity of the
-     collecting (highest) node. *)
+     collecting (highest) node. With [workers > 1] the components are
+     fanned over a deterministic domain pool (they are node-disjoint, so
+     the labeling writes never collide); the sequential commit order
+     keeps the charged maximum and any failure bit-identical to the
+     sequential path. *)
   let t_r = Rake_compress.t_r rc in
   let components = Semi_graph.underlying_components t_r in
-  (* Restricted BFS with a shared scratch array: eccentricity of [src]
-     within its component, touching only component nodes. *)
-  let dist = Array.make n (-1) in
-  let ecc_within src =
+  (* Restricted BFS over a reusable scratch array: eccentricity of [src]
+     within its component, touching only component nodes. Each pool
+     worker gets its own scratch. *)
+  let ecc_within dist src =
     let queue = Queue.create () in
     let touched = ref [ src ] in
     let far = ref 0 in
@@ -80,24 +109,52 @@ let run ?(check_invariants = false) ?k ~spec ~tree ~ids ~f () =
     List.iter (fun v -> dist.(v) <- -1) !touched;
     !far
   in
+  (* Gather charge + solve of one component; returns 2 * eccentricity. *)
+  let solve_component dist component =
+    match component with
+    | [] -> 0
+    | first :: _ ->
+      let highest =
+        List.fold_left
+          (fun acc v -> if Rake_compress.is_higher rc v acc then v else acc)
+          first component
+      in
+      let ecc = ecc_within dist highest in
+      spec.solve_edge_list tree labeling ~nodes:component;
+      2 * ecc
+  in
   Span.with_span "gather-solve" (fun () ->
       Span.add_counter "components" (Array.length components);
+      Span.add_counter "pool:workers" (Pool.workers pool);
+      Span.add_counter "pool:tasks" (Array.length components);
       let max_gather = ref 0 in
-      Array.iter
-        (fun component ->
-          match component with
-          | [] -> ()
-          | first :: _ ->
-            let highest =
-              List.fold_left
-                (fun acc v ->
-                  if Rake_compress.is_higher rc v acc then v else acc)
-                first component
-            in
-            let ecc = ecc_within highest in
-            if 2 * ecc > !max_gather then max_gather := 2 * ecc;
-            spec.solve_edge_list tree labeling ~nodes:component;
-            assert_partial labeling "gather-solve(T_R) component")
-        components;
+      if Pool.workers pool <= 1 || Array.length components < 2 then begin
+        let dist = Array.make n (-1) in
+        Array.iter
+          (fun component ->
+            if component <> [] then begin
+              let g = solve_component dist component in
+              if g > !max_gather then max_gather := g;
+              assert_partial labeling "gather-solve(T_R) component"
+            end)
+          components
+      end
+      else begin
+        if check_invariants then assert_disjoint_owners tree components;
+        let scratch =
+          Array.init (Pool.workers pool) (fun _ -> Array.make n (-1))
+        in
+        (* Workers write only their own scratch and the half-edges of
+           their own components; spans are untouched off the coordinating
+           domain. The commit fold runs in task order. *)
+        Pool.map_commit pool ~tasks:components
+          ~work:(fun ~worker ~index:_ component ->
+            solve_component scratch.(worker) component)
+          ~commit:(fun ~index:_ g -> if g > !max_gather then max_gather := g);
+        (* Under pooling the proof invariant is checked once after the
+           whole phase: mid-phase checks would observe other components'
+           concurrent progress. *)
+        assert_partial labeling "gather-solve(T_R)"
+      end;
       Round_cost.charge cost "gather-solve(T_R)" !max_gather);
   { labeling; cost; rc; k }

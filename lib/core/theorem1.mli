@@ -38,6 +38,7 @@ type 'l result = {
 
 val run :
   ?check_invariants:bool ->
+  ?workers:int ->
   ?k:int ->
   spec:'l spec ->
   tree:Tl_graph.Graph.t ->
@@ -54,5 +55,17 @@ val run :
     far is valid — is asserted after the base phase and after every
     component completion ({!Tl_problems.Nec.validate_partial}).
 
+    [workers] (default {!Tl_engine.Pool.default_workers}, i.e. the CLI's
+    [--pool N]) fans the phase-3 gather-solve over that many OCaml 5
+    domains via {!Tl_engine.Pool}: each worker owns its own BFS scratch
+    and writes only the half-edges of its own (node-disjoint) components,
+    and the eccentricity maximum is committed in component order — the
+    labeling and the ledger are bit-identical to the sequential run for
+    any worker count. Under pooling with [~check_invariants:true], the
+    component ownership is asserted disjoint before fan-out and the
+    proof invariant is checked once after the phase instead of after
+    every component.
+
     Phases charged to the ledger: ["decompose"], ["base:A(T_C)"],
-    ["gather-solve(T_R)"]. *)
+    ["gather-solve(T_R)"]. Span counters under ["gather-solve"]:
+    [components], [pool:workers], [pool:tasks]. *)

@@ -4,6 +4,7 @@ module Labeling = Tl_problems.Labeling
 module Round_cost = Tl_local.Round_cost
 module Arb_decompose = Tl_decompose.Arb_decompose
 module Span = Tl_obs.Span
+module Pool = Tl_engine.Pool
 
 type 'l spec = {
   problem : 'l Tl_problems.Nec.t;
@@ -21,8 +22,34 @@ type 'l result = {
   rho : int;
 }
 
-let run ?(check_invariants = false) ?(rho = 2) ?k ~spec ~graph ~a ~ids ~f () =
+(* Debug-mode owner check for the pooled star solving: within one class
+   [F_{i,j}] the stars are node-disjoint (the star property of the
+   decomposition), so each node — hence each half-edge a solver may read
+   or write — belongs to exactly one star of the class. *)
+let assert_disjoint_stars graph stars =
+  let owner = Array.make (Graph.n_nodes graph) (-1) in
+  Array.iteri
+    (fun s (center, edges) ->
+      let claim v =
+        if owner.(v) >= 0 && owner.(v) <> s then
+          failwith
+            (Printf.sprintf "Theorem2: node %d shared by stars %d and %d" v
+               owner.(v) s);
+        owner.(v) <- s
+      in
+      claim center;
+      List.iter
+        (fun e ->
+          let u, v = Graph.edge_endpoints graph e in
+          claim u;
+          claim v)
+        edges)
+    stars
+
+let run ?(check_invariants = false) ?workers ?(rho = 2) ?k ~spec ~graph ~a ~ids
+    ~f () =
   if a < 1 then invalid_arg "Theorem2.run: a < 1";
+  let pool = Pool.create ?workers () in
   let n = Graph.n_nodes graph in
   let k =
     match k with
@@ -63,15 +90,30 @@ let run ?(check_invariants = false) ?(rho = 2) ?k ~spec ~graph ~a ~ids ~f () =
   assert_partial labeling "base:A(G[E2])";
   (* Phase 3: Π* on the star families F_{i,j}, sequentially over the 6a
      classes; within a class the stars are node-disjoint and each is
-     solved in 2 rounds (gather + redistribute at distance 1). *)
+     solved in 2 rounds (gather + redistribute at distance 1). The
+     node-disjointness is exactly what lets a class's stars fan over the
+     domain pool: no two stars of a class touch the same half-edge, and
+     classes stay ordered (later classes read earlier classes' labels). *)
   let b = Arb_decompose.b d in
   Span.with_span "stars" (fun () ->
       Span.add_counter "classes" (3 * b);
+      Span.add_counter "pool:workers" (Pool.workers pool);
       for i = 1 to b do
         for j = 1 to 3 do
-          List.iter
-            (fun (_center, edges) -> spec.solve_node_list graph labeling ~edges)
-            (Arb_decompose.stars d ~i ~j);
+          let stars = Array.of_list (Arb_decompose.stars d ~i ~j) in
+          Span.add_counter "pool:tasks" (Array.length stars);
+          if Pool.workers pool <= 1 || Array.length stars < 2 then
+            Array.iter
+              (fun (_center, edges) ->
+                spec.solve_node_list graph labeling ~edges)
+              stars
+          else begin
+            if check_invariants then assert_disjoint_stars graph stars;
+            Pool.map_commit pool ~tasks:stars
+              ~work:(fun ~worker:_ ~index:_ (_center, edges) ->
+                spec.solve_node_list graph labeling ~edges)
+              ~commit:(fun ~index:_ () -> ())
+          end;
           assert_partial labeling (Printf.sprintf "stars F_%d,%d" i j);
           Round_cost.charge cost "gather-solve(stars)" 2
         done

@@ -38,6 +38,7 @@ type 'l result = {
 
 val run :
   ?check_invariants:bool ->
+  ?workers:int ->
   ?rho:int ->
   ?k:int ->
   spec:'l spec ->
@@ -54,5 +55,14 @@ val run :
     is asserted after the base phase and after each star family
     ({!Tl_problems.Nec.validate_partial}).
 
+    [workers] (default {!Tl_engine.Pool.default_workers}) fans each star
+    class [F_{i,j}] over that many OCaml 5 domains via
+    {!Tl_engine.Pool}: stars of a class are node-disjoint (asserted
+    under [check_invariants] before fan-out), classes stay strictly
+    ordered, and results are bit-identical to the sequential run for any
+    worker count.
+
     Phases charged: ["decompose"], ["forest-3-coloring"], ["base:A(G[E2])"],
-    ["gather-solve(stars)"] (2 rounds per [F_{i,j}] slot, [6a] slots). *)
+    ["gather-solve(stars)"] (2 rounds per [F_{i,j}] slot, [6a] slots).
+    Span counters under ["stars"]: [classes], [pool:workers],
+    [pool:tasks] (accumulated over the classes). *)

@@ -38,7 +38,7 @@ let now = Unix.gettimeofday
 
 (* ---------- trace plumbing ---------- *)
 
-let begin_trace ?trace ~label ~mode ~sched ~compile_s topo =
+let begin_trace ?trace ~label ~mode ~sched ~compile_s ~compile_cached topo =
   let t =
     match (trace, !trace_sink) with
     | Some t, _ -> Some t
@@ -51,7 +51,8 @@ let begin_trace ?trace ~label ~mode ~sched ~compile_s topo =
         ~scheduling:(sched_to_string sched)
         ~n_base:(Topology.n_base topo)
         ~n_present:(Topology.n_present topo);
-      Trace.set_compile_s t compile_s)
+      Trace.set_compile_s t compile_s;
+      Trace.set_compile_cached t compile_cached)
     t;
   t
 
@@ -403,10 +404,10 @@ let engine_run_rounds ~par ~sched ~equal ~tr ~topo ~init ~step ~rounds:total =
 let par_of = function Naive | Seq -> 1 | Par p -> max 1 p
 
 let run ?mode ?(sched = Active_set) ?(equal = Stdlib.( = )) ?trace
-    ?(label = "engine.run") ?(compile_s = 0.) ~topo ~init ~step ~halted
-    ~max_rounds () =
+    ?(label = "engine.run") ?(compile_s = 0.) ?(compile_cached = false) ~topo
+    ~init ~step ~halted ~max_rounds () =
   let mode = match mode with Some m -> m | None -> !default_mode in
-  let tr = begin_trace ?trace ~label ~mode ~sched ~compile_s topo in
+  let tr = begin_trace ?trace ~label ~mode ~sched ~compile_s ~compile_cached topo in
   with_trace tr (fun () ->
       match mode with
       | Naive -> naive_run ~tr ~topo ~init ~step ~halted ~max_rounds
@@ -415,10 +416,10 @@ let run ?mode ?(sched = Active_set) ?(equal = Stdlib.( = )) ?trace
           ~halted ~max_rounds)
 
 let run_until_stable ?mode ?(sched = Active_set) ?trace
-    ?(label = "engine.run_until_stable") ?(compile_s = 0.) ~topo ~init ~step
-    ~equal ~max_rounds () =
+    ?(label = "engine.run_until_stable") ?(compile_s = 0.)
+    ?(compile_cached = false) ~topo ~init ~step ~equal ~max_rounds () =
   let mode = match mode with Some m -> m | None -> !default_mode in
-  let tr = begin_trace ?trace ~label ~mode ~sched ~compile_s topo in
+  let tr = begin_trace ?trace ~label ~mode ~sched ~compile_s ~compile_cached topo in
   with_trace tr (fun () ->
       match mode with
       | Naive -> naive_run_until_stable ~tr ~topo ~init ~step ~equal ~max_rounds
@@ -427,10 +428,10 @@ let run_until_stable ?mode ?(sched = Active_set) ?trace
           ~init ~step ~max_rounds)
 
 let run_rounds ?mode ?(sched = Active_set) ?(equal = Stdlib.( = )) ?trace
-    ?(label = "engine.run_rounds") ?(compile_s = 0.) ~topo ~init ~step ~rounds
-    () =
+    ?(label = "engine.run_rounds") ?(compile_s = 0.) ?(compile_cached = false)
+    ~topo ~init ~step ~rounds () =
   let mode = match mode with Some m -> m | None -> !default_mode in
-  let tr = begin_trace ?trace ~label ~mode ~sched ~compile_s topo in
+  let tr = begin_trace ?trace ~label ~mode ~sched ~compile_s ~compile_cached topo in
   with_trace tr (fun () ->
       match mode with
       | Naive -> naive_run_rounds ~tr ~topo ~init ~step ~rounds

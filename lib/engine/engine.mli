@@ -80,6 +80,7 @@ val run :
   ?trace:Trace.t ->
   ?label:string ->
   ?compile_s:float ->
+  ?compile_cached:bool ->
   topo:Topology.t ->
   init:(int -> 'state) ->
   step:'state step_fn ->
@@ -100,6 +101,7 @@ val run_until_stable :
   ?trace:Trace.t ->
   ?label:string ->
   ?compile_s:float ->
+  ?compile_cached:bool ->
   topo:Topology.t ->
   init:(int -> 'state) ->
   step:'state step_fn ->
@@ -117,6 +119,7 @@ val run_rounds :
   ?trace:Trace.t ->
   ?label:string ->
   ?compile_s:float ->
+  ?compile_cached:bool ->
   topo:Topology.t ->
   init:(int -> 'state) ->
   step:'state step_fn ->

@@ -1,0 +1,50 @@
+type t = { workers : int }
+
+let default_workers = ref 1
+
+let create ?workers () =
+  let w = match workers with Some w -> w | None -> !default_workers in
+  if w < 1 then invalid_arg "Pool.create: workers < 1";
+  { workers = min w 64 }
+
+let workers t = t.workers
+
+(* One slot per task, written by exactly one domain (fixed chunking) and
+   read only after every domain joined — the join is the happens-before
+   edge publishing both the slots and any task-owned shared writes. *)
+type 'b slot = Pending | Done of 'b | Raised of exn
+
+let map t ~tasks ~f =
+  let n = Array.length tasks in
+  let p = min t.workers n in
+  if p <= 1 then Array.mapi (fun i x -> f ~worker:0 ~index:i x) tasks
+  else begin
+    let slots = Array.make n Pending in
+    let chunk = (n + p - 1) / p in
+    let run_chunk w =
+      let lo = w * chunk and hi = min n ((w + 1) * chunk) in
+      for i = lo to hi - 1 do
+        slots.(i) <-
+          (match f ~worker:w ~index:i tasks.(i) with
+          | r -> Done r
+          | exception e -> Raised e)
+      done
+    in
+    let doms =
+      List.init (p - 1) (fun d -> Domain.spawn (fun () -> run_chunk (d + 1)))
+    in
+    run_chunk 0;
+    List.iter Domain.join doms;
+    Array.mapi
+      (fun i slot ->
+        match slot with
+        | Done r -> r
+        | Raised e -> raise e
+        | Pending ->
+          failwith (Printf.sprintf "Pool.map: task %d never executed" i))
+      slots
+  end
+
+let map_commit t ~tasks ~work ~commit =
+  let results = map t ~tasks ~f:work in
+  Array.iteri (fun i r -> commit ~index:i r) results

@@ -1,0 +1,64 @@
+(** Deterministic, work-stealing-free domain pool.
+
+    The paper's Algorithms 2 and 4 solve the list variants "in parallel"
+    over all rake components / star families (Theorems 12 and 15). This
+    pool is the execution substrate for that parallelism: a fixed number
+    of workers, {e fixed contiguous chunking} of the task array (the same
+    discipline as the engine's [Par p] stepper — no work stealing, no
+    queues), and a {e sequential commit order}, so a pooled run is
+    bit-identical to the sequential one for any worker count.
+
+    Determinism contract:
+    - task [i] is executed by worker [i / ⌈n/p⌉] — a pure function of
+      [(n, p, i)], never of runtime timing;
+    - [f] receives its worker index so callers can hand each worker its
+      own scratch (BFS arrays, buffers) — workers must only write to
+      worker-indexed scratch and to task-owned regions of shared state
+      (disjoint by construction; see {!Tl_core.Theorem1} for the
+      owner-check discipline);
+    - results (and exceptions) are collected per task and delivered in
+      task-index order after all workers joined: the first failing task
+      in {e index} order re-raises, regardless of which worker hit an
+      exception first on the wall clock.
+
+    Spans ({!Tl_obs.Span}) are per-process and must not be touched from
+    worker callbacks; record pool counters from the coordinating domain
+    (the callers do: [pool:workers], [pool:tasks]). *)
+
+type t
+
+val default_workers : int ref
+(** Worker count used when {!create} gets no explicit [workers] — the
+    CLI's [--pool N] sets this once at startup. Defaults to [1]
+    (sequential everywhere unless opted in). *)
+
+val create : ?workers:int -> unit -> t
+(** [create ?workers ()] — a pool descriptor (no domains are kept alive
+    between calls; spawning is per {!map}). [workers] defaults to
+    [!default_workers], clamped to [[1, 64]]. Raises [Invalid_argument]
+    on [workers < 1]. *)
+
+val workers : t -> int
+
+val map : t -> tasks:'a array -> f:(worker:int -> index:int -> 'a -> 'b) -> 'b array
+(** [map t ~tasks ~f] applies [f] to every task and returns the results
+    in task order. With [workers t = 1] (or fewer than 2 tasks) this is
+    exactly [Array.mapi] on the current domain — the sequential
+    reference path. Otherwise the task array is cut into
+    [min (workers t) n] fixed contiguous chunks, chunk 0 runs on the
+    calling domain and each remaining chunk on a fresh domain; all
+    domains are joined before any result is observed. If one or more
+    tasks raised, the exception of the {e lowest-index} failing task is
+    re-raised after the join (side effects of other tasks, including
+    later-index ones, have already happened — callers that need
+    all-or-nothing must not rely on partial failure). *)
+
+val map_commit :
+  t ->
+  tasks:'a array ->
+  work:(worker:int -> index:int -> 'a -> 'b) ->
+  commit:(index:int -> 'b -> unit) ->
+  unit
+(** {!map} followed by a sequential commit pass in task-index order on
+    the calling domain — the shape used by the theorem phases: compute
+    in parallel, publish/accumulate deterministically. *)

@@ -12,7 +12,7 @@
     {v
     { "label": "runtime.run", "mode": "seq", "scheduling": "active-set",
       "n_base": 100000, "n_present": 100000,
-      "compile_s": 0.0021, "total_s": 0.1432,
+      "compile_s": 0.0021, "compile_cached": false, "total_s": 0.1432,
       "metrics": { "rounds": 17, "steps": 634211, "naive_steps": 1700000,
                    "step_savings": 0.627, "max_active": 100000 },
       "rounds_detail": [
@@ -65,6 +65,14 @@ val set_meta :
   t -> mode:string -> scheduling:string -> n_base:int -> n_present:int -> unit
 
 val set_compile_s : t -> float -> unit
+
+val set_compile_cached : t -> bool -> unit
+(** Whether the run's topology came out of the
+    {!Topology.compile_cached} cache ([compile_s] is then the lookup
+    cost, not a compile). Serialized as ["compile_cached"]. *)
+
+val compile_cached : t -> bool
+
 val record : t -> round_record -> unit
 val finish : t -> total_s:float -> unit
 

@@ -4,29 +4,34 @@ module Iset = Set.Make (Int)
 let knowledge_rounds sg ~center =
   if not (Semi_graph.node_present sg center) then
     invalid_arg "Gather.knowledge_rounds: absent center";
-  let component = Iset.of_list (Semi_graph.component_of sg center) in
-  let target = Iset.cardinal component in
-  let base = Semi_graph.base sg in
-  let n = Tl_graph.Graph.n_nodes base in
-  (* state per node: the set of component nodes it has heard of; one
-     synchronous round unions in every neighbor's knowledge *)
-  let states = Array.make n Iset.empty in
-  Iset.iter (fun v -> states.(v) <- Iset.singleton v) component;
+  let component = Semi_graph.component_of sg center in
+  let target = List.length component in
+  (* state per component node: the set of component nodes it has heard
+     of; one synchronous round unions in every neighbor's knowledge.
+     The scratch is indexed by a compact renumbering of the component —
+     never by the base graph — so flooding a small component of a large
+     semi-graph costs O(|component| * rounds), and a sweep over many
+     small components stays linear instead of quadratic in n. *)
+  let index = Hashtbl.create target in
+  List.iteri (fun i v -> Hashtbl.add index v i) component;
+  let nodes = Array.of_list component in
+  let states = Array.map Iset.singleton nodes in
+  let next = Array.make target Iset.empty in
+  let center_i = Hashtbl.find index center in
   let rounds = ref 0 in
-  while Iset.cardinal states.(center) < target do
+  while Iset.cardinal states.(center_i) < target do
     if !rounds > target then
       failwith "Gather.knowledge_rounds: flooding failed to converge";
     incr rounds;
-    let next = Array.copy states in
-    Iset.iter
-      (fun v ->
-        next.(v) <-
+    Array.iteri
+      (fun i v ->
+        next.(i) <-
           List.fold_left
-            (fun acc (u, _) -> Iset.union acc states.(u))
-            states.(v)
+            (fun acc (u, _) -> Iset.union acc states.(Hashtbl.find index u))
+            states.(i)
             (Semi_graph.rank2_neighbors sg v))
-      component;
-    Iset.iter (fun v -> states.(v) <- next.(v)) component
+      nodes;
+    Array.blit next 0 states 0 target
   done;
   !rounds
 

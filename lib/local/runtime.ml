@@ -8,10 +8,16 @@ module Span = Tl_obs.Span
 
 type 'state outcome = { states : 'state array; rounds : int }
 
+(* Compiles through the topology cache: repeated phases over the same
+   semi-graph view (color-reduction loops, the star families) reuse one
+   CSR snapshot. Each compile records a [topo:cache_hit]/[topo:cache_miss]
+   span counter (no-op without an ambient span) and the hit flag is
+   stamped on the engine trace. *)
 let compile sg =
   let t0 = Unix.gettimeofday () in
-  let topo = Topology.compile sg in
-  (topo, Unix.gettimeofday () -. t0)
+  let topo, hit = Topology.compile_cached_stat sg in
+  Span.add_counter (if hit then "topo:cache_hit" else "topo:cache_miss") 1;
+  (topo, Unix.gettimeofday () -. t0, hit)
 
 (* Observability bridge: when a span is ambient, make sure the engine run
    is traced (creating a collector if the caller did not supply one) and
@@ -28,21 +34,21 @@ let with_engine_span ?trace ~label f =
 
 let run_with ?mode ?sched ?equal ?trace ~sg ~init ~step ~halted ~max_rounds ()
     =
-  let topo, compile_s = compile sg in
+  let topo, compile_s, compile_cached = compile sg in
   let o =
     with_engine_span ?trace ~label:"runtime.run" (fun trace ->
         Engine.run ?mode ?sched ?equal ?trace ~label:"runtime.run" ~compile_s
-          ~topo ~init ~step ~halted ~max_rounds ())
+          ~compile_cached ~topo ~init ~step ~halted ~max_rounds ())
   in
   { states = o.Engine.states; rounds = o.Engine.rounds }
 
 let run_until_stable_with ?mode ?sched ?trace ~sg ~init ~step ~equal
     ~max_rounds () =
-  let topo, compile_s = compile sg in
+  let topo, compile_s, compile_cached = compile sg in
   let o =
     with_engine_span ?trace ~label:"runtime.stable" (fun trace ->
         Engine.run_until_stable ?mode ?sched ?trace ~label:"runtime.stable"
-          ~compile_s ~topo ~init ~step ~equal ~max_rounds ())
+          ~compile_s ~compile_cached ~topo ~init ~step ~equal ~max_rounds ())
   in
   { states = o.Engine.states; rounds = o.Engine.rounds }
 

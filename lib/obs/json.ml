@@ -38,15 +38,21 @@ let literal c word value =
   end
   else fail c.pos (Printf.sprintf "expected %s" word)
 
-(* Encode a Unicode scalar value (BMP only) as UTF-8. *)
+(* Encode a Unicode scalar value as UTF-8. *)
 let add_utf8 b u =
   if u < 0x80 then Buffer.add_char b (Char.chr u)
   else if u < 0x800 then begin
     Buffer.add_char b (Char.chr (0xc0 lor (u lsr 6)));
     Buffer.add_char b (Char.chr (0x80 lor (u land 0x3f)))
   end
-  else begin
+  else if u < 0x10000 then begin
     Buffer.add_char b (Char.chr (0xe0 lor (u lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((u lsr 6) land 0x3f)));
+    Buffer.add_char b (Char.chr (0x80 lor (u land 0x3f)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xf0 lor (u lsr 18)));
+    Buffer.add_char b (Char.chr (0x80 lor ((u lsr 12) land 0x3f)));
     Buffer.add_char b (Char.chr (0x80 lor ((u lsr 6) land 0x3f)));
     Buffer.add_char b (Char.chr (0x80 lor (u land 0x3f)))
   end
@@ -73,13 +79,45 @@ let parse_string c =
            | 'r' -> Buffer.add_char b '\r'; c.pos <- c.pos + 1
            | 't' -> Buffer.add_char b '\t'; c.pos <- c.pos + 1
            | 'u' ->
-             if c.pos + 4 >= String.length c.s then
-               fail c.pos "truncated \\u escape";
-             let hex = String.sub c.s (c.pos + 1) 4 in
-             (match int_of_string_opt ("0x" ^ hex) with
-             | Some u -> add_utf8 b u
-             | None -> fail c.pos "bad \\u escape");
-             c.pos <- c.pos + 5
+             (* [pos] is the first of four hex digits. *)
+             let hex4 pos =
+               if pos + 4 > String.length c.s then
+                 fail pos "truncated \\u escape";
+               let v = ref 0 in
+               for i = pos to pos + 3 do
+                 let d =
+                   match c.s.[i] with
+                   | '0' .. '9' as ch -> Char.code ch - Char.code '0'
+                   | 'a' .. 'f' as ch -> Char.code ch - Char.code 'a' + 10
+                   | 'A' .. 'F' as ch -> Char.code ch - Char.code 'A' + 10
+                   | _ -> fail pos "bad \\u escape"
+                 in
+                 v := (!v lsl 4) lor d
+               done;
+               !v
+             in
+             let u = hex4 (c.pos + 1) in
+             c.pos <- c.pos + 5;
+             if u >= 0xd800 && u <= 0xdbff then
+               (* A high surrogate is only meaningful as the first half
+                  of a \uXXXX\uXXXX pair; anything else is malformed. *)
+               if
+                 c.pos + 1 < String.length c.s
+                 && c.s.[c.pos] = '\\'
+                 && c.s.[c.pos + 1] = 'u'
+               then begin
+                 let lo = hex4 (c.pos + 2) in
+                 if lo >= 0xdc00 && lo <= 0xdfff then begin
+                   c.pos <- c.pos + 6;
+                   add_utf8 b
+                     (0x10000 + ((u - 0xd800) lsl 10) + (lo - 0xdc00))
+                 end
+                 else fail (c.pos - 6) "unpaired surrogate in \\u escape"
+               end
+               else fail (c.pos - 6) "unpaired surrogate in \\u escape"
+             else if u >= 0xdc00 && u <= 0xdfff then
+               fail (c.pos - 6) "unpaired surrogate in \\u escape"
+             else add_utf8 b u
            | ch -> fail c.pos (Printf.sprintf "bad escape \\%C" ch));
         go ()
       | ch when Char.code ch < 0x20 -> fail c.pos "control char in string"
@@ -195,7 +233,11 @@ let escape s =
   Buffer.contents b
 
 let add_num b f =
-  if Float.is_integer f && Float.abs f < 1e15 then
+  if not (Float.is_finite f) then
+    (* nan/infinity have no JSON representation; degrade to null rather
+       than emit a token no parser (including ours) accepts *)
+    Buffer.add_string b "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
     Printf.bprintf b "%.0f" f
   else Printf.bprintf b "%.17g" f
 

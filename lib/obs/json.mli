@@ -10,7 +10,8 @@
     Numbers are represented as [float] (like every mainstream OCaml JSON
     AST); integer-valued numbers print without a decimal point, other
     floats print with ["%.17g"] so [parse (to_string v) = v] for finite
-    values. *)
+    values. Non-finite numbers (nan, infinities) have no JSON
+    representation and print as [null]. *)
 
 type t =
   | Null
@@ -26,15 +27,17 @@ exception Parse_error of string
 
 val parse : string -> t
 (** Parse one JSON value (trailing whitespace allowed, trailing garbage
-    rejected). The standard backslash escapes and [\uXXXX] are decoded
-    ([\uXXXX] to UTF-8, surrogate pairs unsupported — the repo never
-    emits them). *)
+    rejected). The standard backslash escapes and [\uXXXX] are decoded to
+    UTF-8; a [\uXXXX\uXXXX] surrogate pair decodes to the astral scalar
+    it encodes, and a lone surrogate ([\uD800]–[\uDFFF] not forming a
+    pair) is a {!Parse_error}. *)
 
 val parse_file : string -> t
 (** [parse] on a whole file. Raises [Sys_error] on IO failure. *)
 
 val to_string : t -> string
-(** Compact single-line rendering. *)
+(** Compact single-line rendering. [Num nan] and [Num infinity] render
+    as [null]. *)
 
 (** {1 Accessors} — total lookups returning [option]. *)
 

@@ -106,12 +106,14 @@ let write_file path s =
   output_string oc s;
   close_out oc
 
-let bench_json wall =
+let bench_json_raw wall_token =
   Printf.sprintf
     {|{"bench":"engine","n":100,"seed":1,"cores":1,"kernels":[
  {"kernel":"cv3","deterministic":true,"modes":[
-  {"mode":"naive","domains":1,"wall_s":%f,"rounds":5,"steps":10,"speedup_vs_naive":1.0}]}]}|}
-    wall
+  {"mode":"naive","domains":1,"wall_s":%s,"rounds":5,"steps":10,"speedup_vs_naive":1.0}]}]}|}
+    wall_token
+
+let bench_json wall = bench_json_raw (Printf.sprintf "%f" wall)
 
 let test_regress_identical_passes () =
   let f = Filename.temp_file "tl_bench" ".json" in
@@ -138,6 +140,42 @@ let test_regress_detects_regression () =
   Sys.remove old_f;
   Sys.remove new_f;
   check_int "tolerance rescues" 0 code_ok
+
+let test_regress_zero_baseline () =
+  (* a 0-second baseline must not fail on any positive measurement:
+     sub-noise-floor times pass via the absolute tolerance, real times
+     still fail *)
+  let old_f = Filename.temp_file "tl_bench_old" ".json" in
+  let new_f = Filename.temp_file "tl_bench_new" ".json" in
+  write_file old_f (bench_json 0.0);
+  write_file new_f (bench_json 0.003);
+  let code, stdout, _ = run_cmd (Printf.sprintf "%s %s %s" regress old_f new_f) in
+  check_int "noise above zero baseline passes" 0 code;
+  check "delta printed in seconds" true (contains ~needle:"s  PASS" stdout);
+  write_file new_f (bench_json 0.5);
+  let code', _, _ = run_cmd (Printf.sprintf "%s %s %s" regress old_f new_f) in
+  check_int "real time above zero baseline fails" 1 code';
+  (* a raised absolute tolerance rescues it *)
+  let code'', _, _ =
+    run_cmd (Printf.sprintf "%s --abs-tolerance 1.0 %s %s" regress old_f new_f)
+  in
+  Sys.remove old_f;
+  Sys.remove new_f;
+  check_int "abs-tolerance rescues" 0 code''
+
+let test_regress_nonfinite_fails () =
+  (* the Json printer emits null for nan/inf metrics; a null metric must
+     fail the gate (exit 1), not pass silently or die with exit 2 *)
+  let old_f = Filename.temp_file "tl_bench_old" ".json" in
+  let new_f = Filename.temp_file "tl_bench_new" ".json" in
+  write_file old_f (bench_json 0.5);
+  (* null is what the Json printer emits for a nan/inf metric *)
+  write_file new_f (bench_json_raw "null");
+  let code, stdout, _ = run_cmd (Printf.sprintf "%s %s %s" regress old_f new_f) in
+  Sys.remove old_f;
+  Sys.remove new_f;
+  check_int "null metric exits 1" 1 code;
+  check "row marked non-finite" true (contains ~needle:"FAIL(non-finite)" stdout)
 
 let test_regress_usage_and_parse_errors () =
   let code, _, _ = run_cmd (Printf.sprintf "%s onlyone.json" regress) in
@@ -173,6 +211,10 @@ let () =
             test_regress_identical_passes;
           Alcotest.test_case "slowdown fails, tolerance rescues" `Quick
             test_regress_detects_regression;
+          Alcotest.test_case "zero baseline uses absolute tolerance" `Quick
+            test_regress_zero_baseline;
+          Alcotest.test_case "non-finite metric fails" `Quick
+            test_regress_nonfinite_fails;
           Alcotest.test_case "usage and parse errors exit 2" `Quick
             test_regress_usage_and_parse_errors;
         ] );

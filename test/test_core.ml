@@ -496,6 +496,129 @@ let test_ids_change_solution_not_validity () =
   let r2 = Pipeline.mis_on_tree ~tree ~ids:(Ids.permuted ~n:400 ~seed:2) () in
   check "both valid" true (r1.Pipeline.valid && r2.Pipeline.valid)
 
+(* ---------- pooled execution: differential against sequential ---------- *)
+
+module Labeling = Tl_problems.Labeling
+module Semi_graph = Tl_graph.Semi_graph
+module Rake_compress = Tl_decompose.Rake_compress
+module Gather = Tl_local.Gather
+
+let mis_spec =
+  {
+    Theorem1.problem = Tl_problems.Mis.problem;
+    base_algorithm = Tl_symmetry.Algos.mis;
+    solve_edge_list = Tl_problems.Mis.solve_edge_list;
+  }
+
+let matching_spec =
+  {
+    Theorem2.problem = Tl_problems.Matching.problem;
+    base_algorithm = Tl_symmetry.Algos.maximal_matching;
+    solve_node_list = Tl_problems.Matching.solve_node_list;
+  }
+
+let labels_equal g l1 l2 =
+  List.init (Graph.n_half_edges g) (fun h -> Labeling.get l1 h)
+  = List.init (Graph.n_half_edges g) (fun h -> Labeling.get l2 h)
+
+let prop_gather_charge_is_flooding_cost =
+  (* The analytic charge for phase 3 must equal the cost of actually
+     executing it: the max over T_R components of the full-information
+     flooding round trip at the collecting (highest) node. *)
+  QCheck.Test.make
+    ~name:"charged gather-solve(T_R) = max component flooding round-trip"
+    ~count:25
+    QCheck.(pair (int_range 2 250) (int_range 0 100000))
+    (fun (n, seed) ->
+      let tree = Gen.random_tree ~n ~seed in
+      let ids = Ids.permuted ~n ~seed:(seed + 1) in
+      let r = Theorem1.run ~spec:mis_spec ~tree ~ids ~f:Complexity.f_linear () in
+      let rc = r.Theorem1.rc in
+      let t_r = Rake_compress.t_r rc in
+      let expected =
+        Array.fold_left
+          (fun acc component ->
+            match component with
+            | [] -> acc
+            | first :: _ ->
+              let highest =
+                List.fold_left
+                  (fun best v -> if Rake_compress.is_higher rc v best then v else best)
+                  first component
+              in
+              max acc (Gather.round_trip_cost t_r ~center:highest))
+          0
+          (Semi_graph.underlying_components t_r)
+      in
+      List.assoc "gather-solve(T_R)" (Round_cost.phases r.Theorem1.cost)
+      = expected)
+
+let prop_pooled_theorem1_bit_identical =
+  QCheck.Test.make ~name:"pooled Theorem 12 = sequential (labeling + ledger)"
+    ~count:15
+    QCheck.(pair (int_range 2 250) (int_range 0 100000))
+    (fun (n, seed) ->
+      let tree = Gen.random_tree ~n ~seed in
+      let ids = Ids.permuted ~n ~seed:(seed + 1) in
+      let run workers =
+        Theorem1.run ~workers ~spec:mis_spec ~tree ~ids
+          ~f:Complexity.f_linear ()
+      in
+      let seq = run 1 and par = run 4 in
+      labels_equal tree seq.Theorem1.labeling par.Theorem1.labeling
+      && Round_cost.phases seq.Theorem1.cost
+         = Round_cost.phases par.Theorem1.cost)
+
+let prop_pooled_theorem2_bit_identical =
+  QCheck.Test.make ~name:"pooled Theorem 15 = sequential (labeling + ledger)"
+    ~count:10
+    QCheck.(triple (int_range 2 200) (int_range 1 3) (int_range 0 100000))
+    (fun (n, a, seed) ->
+      let graph = Gen.forest_union ~n ~arboricity:a ~seed in
+      let ids = Ids.permuted ~n ~seed:(seed + 1) in
+      let run workers =
+        Theorem2.run ~workers ~spec:matching_spec ~graph ~a ~ids
+          ~f:Complexity.f_linear ()
+      in
+      let seq = run 1 and par = run 3 in
+      labels_equal graph seq.Theorem2.labeling par.Theorem2.labeling
+      && Round_cost.phases seq.Theorem2.cost
+         = Round_cost.phases par.Theorem2.cost)
+
+let test_pooled_forest_with_invariants () =
+  (* a forest gives phase 3 many components to fan out; run the pooled
+     path with the proof invariant and the owner-disjointness checks on *)
+  let forest = Gen.random_forest ~n:600 ~trees:13 ~seed:92 in
+  let ids = Ids.permuted ~n:600 ~seed:93 in
+  let seq =
+    Theorem1.run ~workers:1 ~spec:mis_spec ~tree:forest ~ids
+      ~f:Complexity.f_linear ()
+  in
+  let par =
+    Theorem1.run ~workers:4 ~check_invariants:true ~spec:mis_spec ~tree:forest
+      ~ids ~f:Complexity.f_linear ()
+  in
+  check "pooled labeling identical" true
+    (labels_equal forest seq.Theorem1.labeling par.Theorem1.labeling);
+  check "pooled ledger identical" true
+    (Round_cost.phases seq.Theorem1.cost = Round_cost.phases par.Theorem1.cost);
+  check "pooled result valid" true
+    (Nec.is_valid Tl_problems.Mis.problem forest par.Theorem1.labeling);
+  let g = Gen.power_law_union ~n:500 ~arboricity:2 ~seed:94 in
+  let ids = Ids.permuted ~n:500 ~seed:95 in
+  let seq2 =
+    Theorem2.run ~workers:1 ~spec:matching_spec ~graph:g ~a:2 ~ids
+      ~f:Complexity.f_linear ()
+  in
+  let par2 =
+    Theorem2.run ~workers:4 ~check_invariants:true ~spec:matching_spec ~graph:g
+      ~a:2 ~ids ~f:Complexity.f_linear ()
+  in
+  check "pooled stars identical" true
+    (labels_equal g seq2.Theorem2.labeling par2.Theorem2.labeling);
+  check "pooled stars ledger identical" true
+    (Round_cost.phases seq2.Theorem2.cost = Round_cost.phases par2.Theorem2.cost)
+
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -506,6 +629,9 @@ let qcheck_tests =
       prop_sinkless_random_trees;
       prop_baseline_random_trees;
       prop_invariants_random;
+      prop_gather_charge_is_flooding_cost;
+      prop_pooled_theorem1_bit_identical;
+      prop_pooled_theorem2_bit_identical;
     ]
 
 let () =
@@ -557,6 +683,8 @@ let () =
         [
           Alcotest.test_case "pipelines on forests" `Quick test_pipelines_on_forests;
           Alcotest.test_case "bit-identical reruns" `Quick test_determinism;
+          Alcotest.test_case "pooled runs with invariant checks" `Quick
+            test_pooled_forest_with_invariants;
           Alcotest.test_case "id independence of validity" `Quick
             test_ids_change_solution_not_validity;
         ] );

@@ -446,13 +446,138 @@ let test_mode_strings () =
         | _ -> false))
     [ "par:0"; "par:x"; "threads"; "" ]
 
+(* ---------- Pool ---------- *)
+
+module Pool = Tl_engine.Pool
+
+let test_pool_create () =
+  (match Pool.create ~workers:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument on 0 workers");
+  check_int "clamped to 64" 64 (Pool.workers (Pool.create ~workers:1000 ()));
+  let saved = !Pool.default_workers in
+  Pool.default_workers := 5;
+  check_int "create () reads default_workers" 5 (Pool.workers (Pool.create ()));
+  Pool.default_workers := saved
+
+let test_pool_map_deterministic () =
+  let tasks = Array.init 37 (fun i -> i) in
+  let expected = Array.map (fun x -> x * x) tasks in
+  List.iter
+    (fun w ->
+      let pool = Pool.create ~workers:w () in
+      let got = Pool.map pool ~tasks ~f:(fun ~worker:_ ~index:_ x -> x * x) in
+      check (Printf.sprintf "map result workers=%d" w) true (got = expected))
+    [ 1; 2; 3; 4; 7; 64 ]
+
+let test_pool_chunking () =
+  (* fixed contiguous chunking: task i runs on worker i / ceil(n/p),
+     independent of scheduling *)
+  let n = 10 and p = 3 in
+  let tasks = Array.init n (fun i -> i) in
+  let pool = Pool.create ~workers:p () in
+  let owners = Pool.map pool ~tasks ~f:(fun ~worker ~index:_ _ -> worker) in
+  let chunk = (n + p - 1) / p in
+  check "contiguous chunks" true (owners = Array.init n (fun i -> i / chunk))
+
+let test_pool_exception_lowest_index () =
+  (* when several tasks raise, the lowest-index failure is re-raised —
+     the same exception the sequential run would have surfaced first *)
+  let tasks = Array.init 8 (fun i -> i) in
+  let pool = Pool.create ~workers:4 () in
+  match
+    Pool.map pool ~tasks ~f:(fun ~worker:_ ~index:_ x ->
+        if x = 6 then failwith "high";
+        if x = 2 then failwith "low";
+        x)
+  with
+  | exception Failure msg ->
+    check "lowest-index failure wins" true (msg = "low")
+  | _ -> Alcotest.fail "expected Failure"
+
+let test_pool_commit_order () =
+  let tasks = Array.init 23 (fun i -> i) in
+  let pool = Pool.create ~workers:5 () in
+  let order = ref [] in
+  Pool.map_commit pool ~tasks
+    ~work:(fun ~worker:_ ~index:_ x -> x)
+    ~commit:(fun ~index r -> order := (index, r) :: !order);
+  check "commit in task order" true
+    (List.rev !order = List.init 23 (fun i -> (i, i)))
+
+(* ---------- compile cache ---------- *)
+
+let test_topology_cache_hit_and_invalidation () =
+  Topology.clear_cache ();
+  let g = Gen.random_tree ~n:40 ~seed:5 in
+  let sg = Semi_graph.of_graph g in
+  let h0, m0 = Topology.cache_stats () in
+  let t1, hit1 = Topology.compile_cached_stat sg in
+  let t2, hit2 = Topology.compile_cached_stat sg in
+  check "first compile misses" true (not hit1);
+  check "second compile hits" true hit2;
+  check "hit returns the same snapshot" true (t1 == t2);
+  let h1, m1 = Topology.cache_stats () in
+  check_int "one hit counted" 1 (h1 - h0);
+  check_int "one miss counted" 1 (m1 - m0);
+  (* masking a node bumps the generation, making the old key unreachable *)
+  let gen0 = Semi_graph.generation sg in
+  Semi_graph.hide_node sg 0;
+  check_int "generation bumped" (gen0 + 1) (Semi_graph.generation sg);
+  let t3, hit3 = Topology.compile_cached_stat sg in
+  check "mutation invalidates" true (not hit3);
+  check "recompiled snapshot" true (not (t3 == t1));
+  check "node masked out" true (not (Topology.present t3 0));
+  (* hiding an already-hidden node must not bump the generation *)
+  Semi_graph.hide_node sg 0;
+  check_int "no-op hide keeps generation" (gen0 + 1) (Semi_graph.generation sg);
+  let _, hit4 = Topology.compile_cached_stat sg in
+  check "no-op hide keeps the entry live" true hit4
+
+let test_topology_cache_limit () =
+  Topology.clear_cache ();
+  (match Topology.set_cache_limit (-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument on negative limit");
+  let sgs = Array.init 3 (fun i -> Semi_graph.of_graph (Gen.path (i + 2))) in
+  Topology.set_cache_limit 2;
+  Array.iter (fun sg -> ignore (Topology.compile_cached_stat sg)) sgs;
+  (* FIFO: inserting the third view evicted the first *)
+  check "oldest evicted" true (not (snd (Topology.compile_cached_stat sgs.(0))));
+  check "recent kept" true (snd (Topology.compile_cached_stat sgs.(2)));
+  Topology.set_cache_limit 0;
+  check "limit 0 disables caching" true
+    (not (snd (Topology.compile_cached_stat sgs.(2))));
+  check "still disabled on repeat" true
+    (not (snd (Topology.compile_cached_stat sgs.(2))));
+  Topology.set_cache_limit 64
+
 let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
 
 let () =
   Alcotest.run "tl_engine"
     [
       ( "topology",
-        qsuite [ prop_topology_matches_semigraph; prop_topology_on_subsets ] );
+        qsuite [ prop_topology_matches_semigraph; prop_topology_on_subsets ]
+        @ [
+            Alcotest.test_case "compile cache hit/miss/invalidation" `Quick
+              test_topology_cache_hit_and_invalidation;
+            Alcotest.test_case "compile cache FIFO limit" `Quick
+              test_topology_cache_limit;
+          ] );
+      ( "pool",
+        [
+          Alcotest.test_case "create validates and clamps" `Quick
+            test_pool_create;
+          Alcotest.test_case "map deterministic across widths" `Quick
+            test_pool_map_deterministic;
+          Alcotest.test_case "fixed contiguous chunking" `Quick
+            test_pool_chunking;
+          Alcotest.test_case "lowest-index exception wins" `Quick
+            test_pool_exception_lowest_index;
+          Alcotest.test_case "commit runs in task order" `Quick
+            test_pool_commit_order;
+        ] );
       ( "differential",
         qsuite
           [

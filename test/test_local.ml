@@ -182,6 +182,32 @@ let test_gather_flooding_matches_eccentricity () =
       (Gen.path 1, 0);
     ]
 
+let test_gather_many_small_components () =
+  (* Regression: the flooding scratch must be component-indexed, not
+     n-indexed. Each round used to [Array.copy] an n-sized state array,
+     so sweeping a forest of many tiny components cost O(n) per
+     component — quadratic overall — and this test would take minutes. *)
+  let n = 120_000 and trees = 30_000 in
+  let g = Gen.random_forest ~n ~trees ~seed:11 in
+  let sg = Semi_graph.of_graph g in
+  let components = Semi_graph.underlying_components sg in
+  check_int "component count" trees (Array.length components);
+  let total = ref 0 in
+  Array.iteri
+    (fun i component ->
+      match component with
+      | [] -> ()
+      | center :: _ ->
+        let r = Tl_local.Gather.knowledge_rounds sg ~center in
+        total := !total + r;
+        (* spot-check correctness against the analytic value *)
+        if i < 50 then
+          check_int "flooding = eccentricity"
+            (Semi_graph.underlying_eccentricity sg center)
+            r)
+    components;
+  check "total rounds bounded by n" true (!total < n)
+
 let prop_gather_matches_eccentricity =
   QCheck.Test.make ~name:"flooding rounds equal eccentricity" ~count:40
     QCheck.(triple (int_range 1 120) (int_range 0 100000) (int_range 0 1000))
@@ -219,6 +245,8 @@ let () =
         [
           Alcotest.test_case "flooding = eccentricity" `Quick
             test_gather_flooding_matches_eccentricity;
+          Alcotest.test_case "many small components" `Quick
+            test_gather_many_small_components;
           QCheck_alcotest.to_alcotest prop_gather_matches_eccentricity;
         ] );
     ]

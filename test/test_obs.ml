@@ -41,6 +41,34 @@ let test_json_errors () =
   check "unterminated array" true (bad "[1,2");
   check "missing colon" true (bad {|{"a" 1}|})
 
+let test_json_nonfinite_prints_null () =
+  (* nan/inf used to print as "nan"/"inf" — tokens no JSON parser
+     accepts, so a single bad metric poisoned a whole report file *)
+  check "nan" true (Json.to_string (Json.Num Float.nan) = "null");
+  check "inf" true (Json.to_string (Json.Num Float.infinity) = "null");
+  check "-inf" true (Json.to_string (Json.Num Float.neg_infinity) = "null");
+  let s = Json.to_string (Json.Obj [ ("x", Json.Num (0. /. 0.)) ]) in
+  check "nested" true (s = {|{"x":null}|});
+  check "reparses" true (Json.parse s = Json.Obj [ ("x", Json.Null) ])
+
+let test_json_unicode_escapes () =
+  let bad s =
+    match Json.parse s with
+    | exception Json.Parse_error _ -> true
+    | _ -> false
+  in
+  check "bmp escape" true (Json.parse {|"A\u00e9"|} = Json.Str "A\xc3\xa9");
+  (* \ud83d\ude00 is the surrogate pair for U+1F600 (the emoji) *)
+  check "surrogate pair" true
+    (Json.parse {|"\ud83d\ude00"|} = Json.Str "\xf0\x9f\x98\x80");
+  check "lone high surrogate" true (bad {|"\ud800"|});
+  check "lone high then text" true (bad {|"\ud800x"|});
+  check "lone low surrogate" true (bad {|"\udfff"|});
+  check "high then non-low" true (bad {|"\ud83dA"|});
+  check "bad hex digit" true (bad {|"\u12g4"|});
+  check "underscore not hex" true (bad {|"\u1_23"|});
+  check "truncated" true (bad {|"\ud8|})
+
 let test_json_accessors () =
   let j = Json.parse {|{"n":3,"x":1.5,"s":"hi","l":[0],"o":{}}|} in
   check "member hit" true (Json.member "n" j <> None);
@@ -316,6 +344,10 @@ let () =
         [
           Alcotest.test_case "parse basics" `Quick test_json_parse_basics;
           Alcotest.test_case "parse errors" `Quick test_json_errors;
+          Alcotest.test_case "non-finite prints null" `Quick
+            test_json_nonfinite_prints_null;
+          Alcotest.test_case "unicode escapes" `Quick
+            test_json_unicode_escapes;
           Alcotest.test_case "accessors" `Quick test_json_accessors;
           QCheck_alcotest.to_alcotest prop_json_roundtrip;
         ] );
