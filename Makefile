@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: build test bench bench-smoke clean
+.PHONY: build test bench bench-full bench-smoke clean
 
 build:
 	dune build
@@ -8,9 +8,27 @@ build:
 test:
 	dune runtest
 
-# Full experiment regeneration (slow: every table E1-E14, A, B, B6).
+# Full experiment regeneration (slow: every table E1-E14, A, B, B6-B8).
 bench:
 	dune exec bench/main.exe
+
+EXPERIMENTS = E1-E3 E4-E5 E6 E7 E8 E9 E10 E11 E12 E13 E14 A B B6 B7 B8
+
+# Regenerate every committed bench artifact (BENCH_*.json, bench_csv/ +
+# MANIFEST.csv, bench_output.txt), one process per experiment.  The
+# isolation is deliberate: OCaml 5.1 has no heap compaction (Gc.compact
+# is just a full major), so a big-n experiment leaves a fragmented major
+# heap that can tax everything after it in the same process by 2-8x on
+# wall-clock — per-process runs keep each experiment's timings honest.
+# BENCH_engine.json and bench_csv/MANIFEST.csv merge across processes.
+bench-full:
+	dune build
+	rm -f bench_output.txt
+	for e in $(EXPERIMENTS); do \
+	  dune exec --no-build bench/main.exe -- --csv bench_csv $$e \
+	    >> bench_output.txt 2>&1 || exit 1; \
+	done
+	@tail -5 bench_output.txt
 
 # Fast sanity pass used by CI: one analytic experiment plus the engine
 # stepping comparison on a small instance, regression-gated against the
@@ -20,6 +38,7 @@ bench-smoke:
 	cp BENCH_engine.json bench-baseline.json
 	TL_ENGINE_BENCH_N=2000 TL_ENGINE_BENCH_KERNELS=cv3 dune exec bench/main.exe -- B6
 	TL_POOL_BENCH_N=2000 dune exec bench/main.exe -- B7
+	TL_SHARD_BENCH_N=2000 dune exec bench/main.exe -- B8
 	dune exec bench/regress.exe -- --tolerance 5.0 bench-baseline.json BENCH_engine.json
 	dune exec examples/quickstart.exe
 

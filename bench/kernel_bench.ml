@@ -81,7 +81,7 @@ type mode_result = {
 }
 
 let mode_domains = function
-  | Engine.Naive | Engine.Seq -> 1
+  | Engine.Naive | Engine.Seq | Engine.Shard _ -> 1
   | Engine.Par p -> p
 
 (* Run [f], capturing total step executions through the trace sink. *)
@@ -488,6 +488,242 @@ let run_pool () =
   merge_into_engine_json ~file:"BENCH_engine.json"
     (List.map (fun (name, n, rows) -> pool_kernel_json ~name ~n rows) kernels);
   Printf.printf "merged %d pool kernels into BENCH_engine.json\n"
+    (List.length kernels)
+
+(* ---------- B8: sharded halo-exchange backend (merges into BENCH_engine.json) ----------
+
+   Times the sequential stepper against the tl_shard halo-exchange
+   backend (shard counts 2/4/8) on three kernels: flooding to a fixed
+   point (active-set), the full Theorem 12 MIS pipeline, and a
+   fixed-round full-scan max-id sweep — the memory-bound shape where
+   the compact per-shard arrays pay off. The pool width is pinned to 1
+   so the comparison isolates the cache-blocking effect of sharding
+   from domain parallelism (the qcheck battery already proves
+   shard x pool bit-identical). Results merge into BENCH_engine.json
+   (same schema as B6/B7, so bench/regress.exe gates all three). Sizes
+   are overridable via TL_SHARD_BENCH_N (CI smoke runs one small size;
+   its kernel index 0 still aligns with the committed baseline's first
+   size). *)
+
+module Pool = Tl_engine.Pool
+module Shard_plan = Tl_shard.Plan
+
+let shard_sizes () =
+  match Option.bind (Sys.getenv_opt "TL_SHARD_BENCH_N") int_of_string_opt with
+  | Some n when n > 0 -> [ n ]
+  | _ -> [ 250_000; 1_000_000 ]
+
+let shard_modes = [ Engine.Seq; Engine.Shard 2; Engine.Shard 4; Engine.Shard 8 ]
+
+(* Best-of-[reps] with the pool width pinned to 1 and both the
+   shard-plan and topology compile caches cleared before every run, so
+   each mode pays its own (re)build cold. The pre-rep compaction keeps
+   the measurement honest: plan + per-shard context building allocates
+   many large arrays, which crawl through a fragmented major heap left
+   behind by whatever ran before (earlier kernels, earlier
+   experiments) — untimed defragmentation removes that noise. *)
+let bench_shard_mode ~reps ~mode f =
+  let saved = !Pool.default_workers in
+  Pool.default_workers := 1;
+  Fun.protect
+    ~finally:(fun () -> Pool.default_workers := saved)
+    (fun () ->
+      let best = ref infinity and result = ref None and steps = ref 0 in
+      for _ = 1 to reps do
+        Shard_plan.clear_cache ();
+        Topology.clear_cache ();
+        Gc.compact ();
+        let r, dt, st = timed_with_steps (fun () -> f mode) in
+        if dt < !best then best := dt;
+        steps := st;
+        result := Some r
+      done;
+      (Option.get !result, !best, !steps))
+
+let run_shard_kernel ~reps f =
+  let seq_r, seq_t, seq_steps = bench_shard_mode ~reps ~mode:Engine.Seq f in
+  { mode = "seq"; domains = 1; wall_s = seq_t; rounds = snd seq_r;
+    steps = seq_steps; ok = true }
+  :: List.filter_map
+       (fun mode ->
+         if mode = Engine.Seq then None
+         else begin
+           let r, t, st = bench_shard_mode ~reps ~mode f in
+           Some
+             {
+               mode = Engine.mode_to_string mode;
+               domains = 1;
+               wall_s = t;
+               rounds = snd r;
+               steps = st;
+               ok = r = seq_r;
+             }
+         end)
+       shard_modes
+
+let shard_kernel_json ~name ~n results =
+  let seq_t = (List.find (fun r -> r.mode = "seq") results).wall_s in
+  Json.Obj
+    [
+      ("kernel", Json.Str name);
+      ("n", Json.Num (float_of_int n));
+      ("deterministic", Json.Bool (List.for_all (fun r -> r.ok) results));
+      ( "modes",
+        Json.Arr
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [
+                   ("mode", Json.Str r.mode);
+                   ("domains", Json.Num (float_of_int r.domains));
+                   ("wall_s", Json.Num r.wall_s);
+                   ("rounds", Json.Num (float_of_int r.rounds));
+                   ("steps", Json.Num (float_of_int r.steps));
+                   ( "speedup_vs_seq",
+                     Json.Num
+                       (if r.wall_s > 0. then seq_t /. r.wall_s else 0.) );
+                 ])
+             results) );
+    ]
+
+let run_shard () =
+  let sizes = shard_sizes () in
+  Util.heading
+    (Printf.sprintf
+       "B8: sharded halo-exchange backend — seq vs shard:{2,4,8} (n in {%s}, \
+        pool=1)"
+       (String.concat ", " (List.map string_of_int sizes)));
+  let mis_spec =
+    {
+      Theorem1.problem = Tl_problems.Mis.problem;
+      base_algorithm = Tl_symmetry.Algos.mis;
+      solve_edge_list = Tl_problems.Mis.solve_edge_list;
+    }
+  in
+  let kernels =
+    List.concat
+      (List.mapi
+         (fun i n ->
+           let reps = if n >= 500_000 then 1 else 2 in
+           let seed = 71 in
+           let tree = Gen.random_tree ~n ~seed in
+           let sg = Semi_graph.of_graph tree in
+           let topo = Topology.compile sg in
+           let ids = Ids.permuted ~n ~seed:79 in
+           (* Flooding to a fixed point: shrinking frontier, Active_set. *)
+           let flood mode =
+             let o =
+               Engine.run_until_stable ~mode ~topo
+                 ~init:(fun v -> v = 0)
+                 ~step:(fun ~round:_ ~node:_ s ~neighbors ->
+                   s || List.exists (fun (_, _, su) -> su) neighbors)
+                 ~equal:Bool.equal ~max_rounds:(n + 1) ()
+             in
+             (o.Engine.states, o.Engine.rounds)
+           in
+           (* The whole Theorem 12 MIS pipeline through the engine knob. *)
+           let t1mis mode =
+             let r =
+               Theorem1.run ~workers:1 ~engine:mode ~spec:mis_spec ~tree ~ids
+                 ~f:Tl_core.Complexity.f_linear ()
+             in
+             ( List.init (Graph.n_half_edges tree)
+                 (Labeling.get r.Theorem1.labeling),
+               Tl_local.Round_cost.total r.Theorem1.cost )
+           in
+           (* Fixed-round full-scan max-id sweep: every round touches
+              every node and gathers every neighbor — the memory-bound
+              reference where working-set size dominates. *)
+           let maxprop mode =
+             let o =
+               Engine.run_rounds ~mode ~sched:Engine.Full_scan
+                 ~equal:Int.equal ~topo
+                 ~init:(fun v -> ids.(v))
+                 ~step:(fun ~round:_ ~node:_ s ~neighbors ->
+                   List.fold_left
+                     (fun m (_, _, su) -> if su > m then su else m)
+                     s neighbors)
+                 ~rounds:24 ()
+             in
+             (o.Engine.states, o.Engine.rounds)
+           in
+           (* Mostly-hidden snapshot, the shape of a late rake-compress
+              layer: a path with all but ~1% of the base nodes hidden,
+              stepped under Active_set with an always-changing sum rule
+              so every round's frontier is dense. The monolithic
+              stepper's dense-frontier rebuild scans its O(n_base)
+              dirty array every round; the shards scan their compact
+              O(n_owned) bitmaps — the working-set gap this backend
+              exists to close. *)
+           let n_visible = max 64 (n / 100) in
+           let sparse_sg = Semi_graph.of_graph (Gen.path n) in
+           for v = n_visible to n - 1 do
+             Semi_graph.hide_node sparse_sg v
+           done;
+           let sparse_topo = Topology.compile sparse_sg in
+           let sparse_sum mode =
+             let o =
+               Engine.run_rounds ~mode ~equal:Int.equal ~topo:sparse_topo
+                 ~init:(fun v -> ids.(v))
+                 ~step:(fun ~round:_ ~node:_ s ~neighbors ->
+                   List.fold_left (fun acc (_, _, su) -> acc + su) (s + 1)
+                     neighbors)
+                 ~rounds:96 ()
+             in
+             (o.Engine.states, o.Engine.rounds)
+           in
+           [
+             (Printf.sprintf "shard-flood.%d" i, n,
+              run_shard_kernel ~reps flood);
+             (Printf.sprintf "shard-t1mis.%d" i, n,
+              run_shard_kernel ~reps t1mis);
+             (Printf.sprintf "shard-maxprop.%d" i, n,
+              run_shard_kernel ~reps maxprop);
+             (Printf.sprintf "shard-sparse-sum.%d" i, n,
+              run_shard_kernel ~reps sparse_sum);
+           ])
+         sizes)
+  in
+  let rows =
+    List.concat_map
+      (fun (name, n, results) ->
+        let seq_t = (List.find (fun r -> r.mode = "seq") results).wall_s in
+        List.map
+          (fun r ->
+            [
+              name;
+              Util.i n;
+              r.mode;
+              Util.i r.rounds;
+              Printf.sprintf "%.4f" r.wall_s;
+              Printf.sprintf "%.2fx"
+                (if r.wall_s > 0. then seq_t /. r.wall_s else 0.);
+              Util.pass_fail r.ok;
+            ])
+          results)
+      kernels
+  in
+  Util.table
+    ~header:[ "kernel"; "n"; "mode"; "rounds"; "wall s"; "vs seq"; "identical" ]
+    rows;
+  let best =
+    List.fold_left
+      (fun acc (_, _, results) ->
+        let seq_t = (List.find (fun r -> r.mode = "seq") results).wall_s in
+        List.fold_left
+          (fun acc r ->
+            if r.mode = "seq" || r.wall_s <= 0. then acc
+            else max acc (seq_t /. r.wall_s))
+          acc results)
+      0. kernels
+  in
+  Printf.printf "\nbest shard speedup over seq: %.2fx — >= 1.5x on some kernel: %s\n"
+    best
+    (Util.pass_fail (best >= 1.5));
+  merge_into_engine_json ~file:"BENCH_engine.json"
+    (List.map (fun (name, n, results) -> shard_kernel_json ~name ~n results)
+       kernels);
+  Printf.printf "merged %d shard kernels into BENCH_engine.json\n"
     (List.length kernels)
 
 let run () =

@@ -26,7 +26,28 @@ let experiments =
     ("B", "kernel wall-clock microbenchmarks", Kernel_bench.run);
     ("B6", "engine: naive vs active-set vs parallel stepping", Kernel_bench.run_engine);
     ("B7", "component-solve pool: sequential vs pooled Theorem 12/15", Kernel_bench.run_pool);
+    ("B8", "sharded halo-exchange backend: seq vs shard:{2,4,8}", Kernel_bench.run_shard);
   ]
+
+(* GC parameters as of process start.  The bechamel microbenches
+   (experiment "B") permanently set [max_overhead] to 1e6 — disabling
+   automatic compaction for the rest of the process — so every
+   experiment dispatched after them would otherwise run on an
+   ever-fragmenting major heap and report wall times 2-7x worse than
+   the same code measured standalone. *)
+let initial_gc = Gc.get ()
+
+(* Dispatch one experiment, tagging its CSV tables for the manifest.
+   Restoring the GC parameters and compacting between experiments is
+   measurement hygiene: the big-n experiments (B7/B8 at n = 1e6) grow
+   and fragment the major heap, and a later experiment's large-array
+   allocations crawl through the fragmented free lists — wall-clock
+   noise that has nothing to do with the code under test. *)
+let dispatch (id, _, run) =
+  Util.manifest_experiment := id;
+  Gc.set initial_gc;
+  Gc.compact ();
+  run ()
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
@@ -48,7 +69,8 @@ let () =
     Printf.printf
       "tree-local experiment harness — reproducing 'Towards Optimal\n\
        Deterministic LOCAL Algorithms on Trees' (PODC 2025)\n";
-    List.iter (fun (_, _, run) -> run ()) experiments
+    List.iter dispatch experiments;
+    Util.write_manifest ()
   | selected ->
     List.iter
       (fun want ->
@@ -58,8 +80,9 @@ let () =
               id = want || String.lowercase_ascii id = String.lowercase_ascii want)
             experiments
         with
-        | Some (_, _, run) -> run ()
+        | Some exp -> dispatch exp
         | None ->
           Printf.eprintf "unknown experiment %s (try --list)\n" want;
           exit 1)
-      selected
+      selected;
+    Util.write_manifest ()

@@ -9,6 +9,12 @@ let csv_dir : string option ref = ref None
 let section_slug = ref "preamble"
 let table_counter = ref 0
 
+(* Experiment id of the currently running section (set by bench/main.ml
+   before dispatching each experiment) and the manifest rows collected
+   this invocation: (experiment id, csv file, header columns). *)
+let manifest_experiment = ref ""
+let manifest : (string * string * string list) list ref = ref []
+
 let slugify title =
   String.map
     (fun c ->
@@ -64,7 +70,62 @@ let write_csv ~header rows =
     in
     emit header;
     List.iter emit rows;
-    close_out oc
+    close_out oc;
+    manifest :=
+      (!manifest_experiment, Filename.basename path, header) :: !manifest
+
+(* Write (or merge into) DIR/MANIFEST.csv: one row per emitted CSV —
+   experiment id, file name, and the file's columns joined with ';'.
+   Rows from a previous manifest survive unless their experiment ran
+   again this invocation or their file was rewritten, so partial runs
+   (`main.exe -- --csv DIR E11`) refresh their own rows without
+   forgetting everyone else's. *)
+let write_manifest () =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+    let path = Filename.concat dir "MANIFEST.csv" in
+    let fresh =
+      List.rev_map
+        (fun (id, file, header) ->
+          Printf.sprintf "%s,%s,%s" id file
+            (csv_escape (String.concat ";" header)))
+        !manifest
+    in
+    let new_ids = List.rev_map (fun (id, _, _) -> id) !manifest in
+    let new_files = List.rev_map (fun (_, f, _) -> f) !manifest in
+    let kept =
+      if not (Sys.file_exists path) then []
+      else begin
+        let ic = open_in path in
+        let lines = ref [] in
+        (try
+           while true do
+             lines := input_line ic :: !lines
+           done
+         with End_of_file -> close_in ic);
+        List.rev !lines
+        |> List.filteri (fun i _ -> i > 0) (* drop the header row *)
+        |> List.filter (fun line ->
+               (* ids and file names are slug-safe: the first two fields
+                  never need quoting, so a prefix split is sound even
+                  though the columns field may be quoted *)
+               match String.split_on_char ',' line with
+               | id :: file :: _ ->
+                 (not (List.mem id new_ids)) && not (List.mem file new_files)
+               | _ -> false)
+      end
+    in
+    let rows = List.sort compare (kept @ fresh) in
+    let oc = open_out path in
+    output_string oc "experiment,file,columns\n";
+    List.iter
+      (fun row ->
+        output_string oc row;
+        output_char oc '\n')
+      rows;
+    close_out oc;
+    Printf.printf "wrote %s (%d table(s))\n" path (List.length rows)
 
 (* Print an aligned table: the column widths adapt to the contents. *)
 let table ~header rows =

@@ -49,23 +49,53 @@ let delta_arg =
 
 (* ---------- engine selection and tracing ---------- *)
 
+(* Kept as a (validated) string until [solve] runs: "shard" without a
+   count resolves against Engine.default_shards, which --shards sets
+   after argument parsing. *)
 let engine_arg =
   let doc =
     "Execution engine: naive (the legacy full-scan reference stepper), \
-     seq (compiled topology + active-set scheduler, the default), or \
+     seq (compiled topology + active-set scheduler, the default), \
      par:N (the same stepper with the per-round compute spread over N \
-     OCaml domains). All modes are deterministic and bit-identical."
+     OCaml domains), or shard / shard:S (sharded halo-exchange backend; \
+     the shard count comes from $(b,--shards) unless given inline). All \
+     modes are deterministic and bit-identical."
   in
   let mode =
     let parse s =
       match Engine.mode_of_string s with
-      | m -> Ok m
+      | _ -> Ok s
       | exception Invalid_argument _ ->
-        Error (`Msg (Printf.sprintf "invalid engine %S (expected naive, seq or par:N)" s))
+        Error
+          (`Msg
+            (Printf.sprintf
+               "invalid engine %S (expected naive, seq, par:N, shard or \
+                shard:S)"
+               s))
     in
-    Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (Engine.mode_to_string m))
+    Arg.conv (parse, Format.pp_print_string)
   in
-  Arg.(value & opt mode Engine.Seq & info [ "engine" ] ~docv:"MODE" ~doc)
+  Arg.(value & opt mode "seq" & info [ "engine" ] ~docv:"MODE" ~doc)
+
+let shards_arg =
+  let doc =
+    "Shard count for $(b,--engine) shard: partition the compiled \
+     topology into $(docv) contiguous shards with ghost (halo) \
+     vertices, each round running as local step / batched boundary \
+     exchange / barrier. Results are bit-identical for any shard count; \
+     composes with $(b,--pool) (shards fan over the domain pool)."
+  in
+  let shards =
+    let parse s =
+      match int_of_string_opt s with
+      | Some c when c >= 1 -> Ok c
+      | _ ->
+        Error
+          (`Msg (Printf.sprintf "invalid shard count %S (expected S >= 1)" s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(value & opt shards 4 & info [ "shards" ] ~docv:"S" ~doc)
 
 let pool_arg =
   let doc =
@@ -279,8 +309,10 @@ let report name (r : _ Pipeline.report) =
     exit 1
   end
 
-let solve problem method_ family n seed a delta k engine pool trace profile
-    report_fmt =
+let solve problem method_ family n seed a delta k engine shards pool trace
+    profile report_fmt =
+  Engine.default_shards := shards;
+  let engine = Engine.mode_of_string engine in
   setup_engine engine trace;
   Tl_engine.Pool.default_workers := pool;
   setup_profile profile report_fmt;
@@ -290,6 +322,7 @@ let solve problem method_ family n seed a delta k engine pool trace profile
   Span.set_attr "n" (string_of_int n);
   Span.set_attr "seed" (string_of_int seed);
   Span.set_attr "engine" (Engine.mode_to_string engine);
+  Span.set_attr "shards" (string_of_int shards);
   Span.set_attr "pool" (string_of_int pool);
   let g = Span.with_span "instance" (fun () -> build_instance family n seed a delta) in
   let ids = Ids.permuted ~n:(Graph.n_nodes g) ~seed:(seed + 1) in
@@ -336,8 +369,8 @@ let solve_cmd =
   Cmd.v (Cmd.info "solve" ~doc)
     Term.(
       const solve $ problem_arg $ method_arg $ family_arg $ n_arg $ seed_arg
-      $ a_arg $ delta_arg $ k_arg $ engine_arg $ pool_arg $ trace_arg
-      $ profile_arg $ report_fmt_arg)
+      $ a_arg $ delta_arg $ k_arg $ engine_arg $ shards_arg $ pool_arg
+      $ trace_arg $ profile_arg $ report_fmt_arg)
 
 (* ---------- decompose ---------- *)
 

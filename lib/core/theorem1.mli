@@ -39,6 +39,7 @@ type 'l result = {
 val run :
   ?check_invariants:bool ->
   ?workers:int ->
+  ?engine:Tl_engine.Engine.mode ->
   ?k:int ->
   spec:'l spec ->
   tree:Tl_graph.Graph.t ->
@@ -65,6 +66,14 @@ val run :
     component ownership is asserted disjoint before fan-out and the
     proof invariant is checked once after the phase instead of after
     every component.
+
+    [engine] scopes {!Tl_engine.Engine.default_mode} to the run: every
+    engine-backed step inside (the base algorithm's color reductions,
+    any runtime simulation) executes on that backend — e.g.
+    [~engine:(Shard 8)] runs the whole theorem end-to-end on the
+    sharded halo-exchange backend. Results are bit-identical across
+    backends (the engine's determinism guarantee), so the knob only
+    selects the execution substrate.
 
     Phases charged to the ledger: ["decompose"], ["base:A(T_C)"],
     ["gather-solve(T_R)"]. Span counters under ["gather-solve"]:

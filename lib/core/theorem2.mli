@@ -39,6 +39,7 @@ type 'l result = {
 val run :
   ?check_invariants:bool ->
   ?workers:int ->
+  ?engine:Tl_engine.Engine.mode ->
   ?rho:int ->
   ?k:int ->
   spec:'l spec ->
@@ -61,6 +62,11 @@ val run :
     under [check_invariants] before fan-out), classes stay strictly
     ordered, and results are bit-identical to the sequential run for any
     worker count.
+
+    [engine] scopes {!Tl_engine.Engine.default_mode} to the run, exactly
+    like {!Tl_core.Theorem1.run}: [~engine:(Shard 8)] executes every
+    engine-backed step on the sharded halo-exchange backend with
+    bit-identical results.
 
     Phases charged: ["decompose"], ["forest-3-coloring"], ["base:A(G[E2])"],
     ["gather-solve(stars)"] (2 rounds per [F_{i,j}] slot, [6a] slots).

@@ -1,22 +1,36 @@
 module Semi_graph = Tl_graph.Semi_graph
 
-type mode = Naive | Seq | Par of int
+type mode = Naive | Seq | Par of int | Shard of int
 type scheduling = Active_set | Full_scan
+
+let default_shards = ref 4
 
 let mode_to_string = function
   | Naive -> "naive"
   | Seq -> "seq"
   | Par p -> "par:" ^ string_of_int p
+  | Shard s -> "shard:" ^ string_of_int s
+
+let count_suffix s prefix =
+  let k = String.length prefix in
+  if String.length s > k && String.sub s 0 k = prefix then
+    match int_of_string_opt (String.sub s k (String.length s - k)) with
+    | Some p when p >= 1 -> Some p
+    | _ -> invalid_arg ("Engine.mode_of_string: " ^ s)
+  else None
 
 let mode_of_string s =
   match s with
   | "naive" -> Naive
   | "seq" -> Seq
-  | _ when String.length s > 4 && String.sub s 0 4 = "par:" -> (
-    match int_of_string_opt (String.sub s 4 (String.length s - 4)) with
-    | Some p when p >= 1 -> Par p
-    | _ -> invalid_arg ("Engine.mode_of_string: " ^ s))
-  | _ -> invalid_arg ("Engine.mode_of_string: " ^ s)
+  | "shard" -> Shard (max 1 !default_shards)
+  | _ -> (
+    match count_suffix s "par:" with
+    | Some p -> Par p
+    | None -> (
+      match count_suffix s "shard:" with
+      | Some c -> Shard c
+      | None -> invalid_arg ("Engine.mode_of_string: " ^ s)))
 
 let sched_to_string = function
   | Active_set -> "active-set"
@@ -33,6 +47,54 @@ type 'state step_fn =
   'state ->
   neighbors:(int * int * 'state) list ->
   'state
+
+(* The Shard mode's implementation lives in tl_shard (which depends on
+   this library) and registers itself here at load time. *)
+type shard_backend = {
+  sb_run :
+    'state.
+    shards:int ->
+    sched:scheduling ->
+    equal:('state -> 'state -> bool) ->
+    trace:Trace.t option ->
+    topo:Topology.t ->
+    init:(int -> 'state) ->
+    step:'state step_fn ->
+    halted:('state -> bool) ->
+    max_rounds:int ->
+    'state outcome;
+  sb_run_until_stable :
+    'state.
+    shards:int ->
+    sched:scheduling ->
+    equal:('state -> 'state -> bool) ->
+    trace:Trace.t option ->
+    topo:Topology.t ->
+    init:(int -> 'state) ->
+    step:'state step_fn ->
+    max_rounds:int ->
+    'state outcome;
+  sb_run_rounds :
+    'state.
+    shards:int ->
+    sched:scheduling ->
+    equal:('state -> 'state -> bool) ->
+    trace:Trace.t option ->
+    topo:Topology.t ->
+    init:(int -> 'state) ->
+    step:'state step_fn ->
+    rounds:int ->
+    'state outcome;
+}
+
+let shard_backend : shard_backend option ref = ref None
+
+let get_shard_backend () =
+  match !shard_backend with
+  | Some b -> b
+  | None ->
+    failwith
+      "Engine: shard mode requested but the tl_shard backend is not linked"
 
 let now = Unix.gettimeofday
 
@@ -401,7 +463,7 @@ let engine_run_rounds ~par ~sched ~equal ~tr ~topo ~init ~step ~rounds:total =
 
 (* ---------- public API ---------- *)
 
-let par_of = function Naive | Seq -> 1 | Par p -> max 1 p
+let par_of = function Naive | Seq | Shard _ -> 1 | Par p -> max 1 p
 
 let run ?mode ?(sched = Active_set) ?(equal = Stdlib.( = )) ?trace
     ?(label = "engine.run") ?(compile_s = 0.) ?(compile_cached = false) ~topo
@@ -411,6 +473,9 @@ let run ?mode ?(sched = Active_set) ?(equal = Stdlib.( = )) ?trace
   with_trace tr (fun () ->
       match mode with
       | Naive -> naive_run ~tr ~topo ~init ~step ~halted ~max_rounds
+      | Shard s ->
+        (get_shard_backend ()).sb_run ~shards:s ~sched ~equal ~trace:tr ~topo
+          ~init ~step ~halted ~max_rounds
       | Seq | Par _ ->
         engine_run ~par:(par_of mode) ~sched ~equal ~tr ~topo ~init ~step
           ~halted ~max_rounds)
@@ -423,6 +488,9 @@ let run_until_stable ?mode ?(sched = Active_set) ?trace
   with_trace tr (fun () ->
       match mode with
       | Naive -> naive_run_until_stable ~tr ~topo ~init ~step ~equal ~max_rounds
+      | Shard s ->
+        (get_shard_backend ()).sb_run_until_stable ~shards:s ~sched ~equal
+          ~trace:tr ~topo ~init ~step ~max_rounds
       | Seq | Par _ ->
         engine_run_until_stable ~par:(par_of mode) ~sched ~equal ~tr ~topo
           ~init ~step ~max_rounds)
@@ -435,6 +503,9 @@ let run_rounds ?mode ?(sched = Active_set) ?(equal = Stdlib.( = )) ?trace
   with_trace tr (fun () ->
       match mode with
       | Naive -> naive_run_rounds ~tr ~topo ~init ~step ~rounds
+      | Shard s ->
+        (get_shard_backend ()).sb_run_rounds ~shards:s ~sched ~equal ~trace:tr
+          ~topo ~init ~step ~rounds
       | Seq | Par _ ->
         engine_run_rounds ~par:(par_of mode) ~sched ~equal ~tr ~topo ~init
           ~step ~rounds)

@@ -19,6 +19,14 @@
       of the active array. Reads go to the current buffer only and every
       active node is written by exactly one domain, so results are
       bit-identical to [Seq] regardless of [p] or thread interleaving.
+    - [Shard s] — the sharded halo-exchange backend ({!Tl_shard.Shard}):
+      the snapshot is partitioned into [s] contiguous shards with ghost
+      (halo) copies of remote neighbors, and each round runs as
+      {e local step → batched boundary exchange → barrier}. The
+      implementation lives in the [tl_shard] library and registers
+      itself through {!shard_backend}; running in [Shard] mode without
+      that library linked raises [Failure]. Bit-identical to [Seq] under
+      the same stationarity contract.
 
     {2 Determinism guarantee}
 
@@ -39,7 +47,7 @@
     machine can then never halt — the naive stepper would spin to
     [max_rounds] and raise the same way). *)
 
-type mode = Naive | Seq | Par of int
+type mode = Naive | Seq | Par of int | Shard of int
 
 type scheduling =
   | Active_set  (** re-step only nodes with a changed 1-hop neighborhood *)
@@ -48,13 +56,18 @@ type scheduling =
 val mode_to_string : mode -> string
 
 val mode_of_string : string -> mode
-(** Parses ["naive"], ["seq"], ["par:N"] (N >= 1). Raises
-    [Invalid_argument] otherwise. *)
+(** Parses ["naive"], ["seq"], ["par:N"], ["shard:N"] (N >= 1) and
+    ["shard"] (shard count taken from {!default_shards} at parse time).
+    Raises [Invalid_argument] otherwise. *)
 
 val default_mode : mode ref
 (** Mode used when a run does not specify one. [Seq] initially; the CLI's
     [--engine] flag retargets every engine-backed execution in the
     process by setting this. *)
+
+val default_shards : int ref
+(** Shard count used when a mode string says just ["shard"] — the CLI's
+    [--shards N] flag sets this once at startup. Defaults to [4]. *)
 
 val trace_sink : (Trace.t -> unit) option ref
 (** When set, every engine run reports its trace here (creating an
@@ -72,6 +85,58 @@ type 'state step_fn =
 (** Same contract as the legacy runtime: [neighbors] lists
     [(neighbor, edge, neighbor_state)] over present rank-2 edges in
     ascending incident order. *)
+
+(** {2 Shard backend hook}
+
+    The [Shard] mode is implemented outside this library (in [tl_shard],
+    which depends on [tl_engine]); it plugs in through this record of
+    rank-2-polymorphic entry points. The engine keeps ownership of trace
+    creation and delivery: the backend receives the already-created
+    [trace] (if any) and records its rounds into it. [Tl_shard.Shard]
+    installs itself here at module initialization, and
+    {!Tl_local.Runtime} references it explicitly so every binary built
+    on the runtime links the backend. *)
+
+type shard_backend = {
+  sb_run :
+    'state.
+    shards:int ->
+    sched:scheduling ->
+    equal:('state -> 'state -> bool) ->
+    trace:Trace.t option ->
+    topo:Topology.t ->
+    init:(int -> 'state) ->
+    step:'state step_fn ->
+    halted:('state -> bool) ->
+    max_rounds:int ->
+    'state outcome;
+  sb_run_until_stable :
+    'state.
+    shards:int ->
+    sched:scheduling ->
+    equal:('state -> 'state -> bool) ->
+    trace:Trace.t option ->
+    topo:Topology.t ->
+    init:(int -> 'state) ->
+    step:'state step_fn ->
+    max_rounds:int ->
+    'state outcome;
+  sb_run_rounds :
+    'state.
+    shards:int ->
+    sched:scheduling ->
+    equal:('state -> 'state -> bool) ->
+    trace:Trace.t option ->
+    topo:Topology.t ->
+    init:(int -> 'state) ->
+    step:'state step_fn ->
+    rounds:int ->
+    'state outcome;
+}
+
+val shard_backend : shard_backend option ref
+(** Set by [Tl_shard.Shard] at load time. [Shard]-mode runs raise
+    [Failure] while this is [None]. *)
 
 val run :
   ?mode:mode ->

@@ -6,6 +6,13 @@ module Engine = Tl_engine.Engine
 module Topology = Tl_engine.Topology
 module Span = Tl_obs.Span
 
+(* Force-link the sharded halo-exchange backend: Tl_shard registers
+   itself into Engine.shard_backend at module initialization, but the
+   linker drops unreferenced archive modules, so the runtime references
+   it explicitly — every binary built on the runtime can run
+   [Shard] mode. *)
+let () = Tl_shard.Shard.register ()
+
 type 'state outcome = { states : 'state array; rounds : int }
 
 (* Compiles through the topology cache: repeated phases over the same

@@ -13,9 +13,11 @@
     with the double-buffered active-set scheduler (no per-round full
     copies; converged regions cost zero). The optional [mode] selects the
     stepper — [Naive] (the original full-scan reference), [Seq] (default,
-    via {!Tl_engine.Engine.default_mode}) or [Par p] (OCaml 5 domains,
-    deterministic chunking) — all bit-identical under the engine's
-    stationarity contract (see {!Tl_engine.Engine}).
+    via {!Tl_engine.Engine.default_mode}), [Par p] (OCaml 5 domains,
+    deterministic chunking) or [Shard s] (the sharded halo-exchange
+    backend {!Tl_shard.Shard}, which the runtime force-links so it is
+    available in every binary built on it) — all bit-identical under the
+    engine's stationarity contract (see {!Tl_engine.Engine}).
 
     Determinism: given the semi-graph, the ID assignment and a
     deterministic [step], runs are bit-for-bit reproducible across all

@@ -1,0 +1,245 @@
+module Semi_graph = Tl_graph.Semi_graph
+module Topology = Tl_engine.Topology
+
+type shard = {
+  id : int;
+  owned : int array;
+  n_owned : int;
+  n_local : int;
+  l2g : int array;
+  off : int array;
+  adj : int array;
+  eid : int array;
+  halo_off : int array;
+  halo_adj : int array;
+  xoff : int array;
+  xshard : int array;
+  xslot : int array;
+  cut_edges : int;
+}
+
+type t = {
+  topo : Topology.t;
+  shards : shard array;
+  owner : int array;
+}
+
+(* Partitioning is the pool's fixed-contiguous-chunk discipline applied to
+   [present_nodes]: shard [s] owns slice [s*chunk, min np ((s+1)*chunk)).
+   Everything downstream (halo discovery order, route order) is a
+   deterministic scan of that slice, so the plan is a pure function of
+   (topology, shard count). *)
+let build ~topo ~shards =
+  let np = topo.Topology.n_present in
+  let s_count = max 1 (min shards (max 1 np)) in
+  let chunk = if np = 0 then 0 else (np + s_count - 1) / s_count in
+  let n = topo.Topology.n_base in
+  let owner = Array.make n (-1) in
+  let slot = Array.make n (-1) in
+  (* pass 0: ownership of every present node, before any shard is built *)
+  for s = 0 to s_count - 1 do
+    let lo = min np (s * chunk) and hi = min np ((s + 1) * chunk) in
+    for i = lo to hi - 1 do
+      let v = topo.Topology.present_nodes.(i) in
+      owner.(v) <- s;
+      slot.(v) <- i - lo
+    done
+  done;
+  let g_off = topo.Topology.off
+  and g_adj = topo.Topology.adj
+  and g_eid = topo.Topology.eid in
+  (* scratch: global id -> local index within the shard being built *)
+  let g2l = Array.make n (-1) in
+  let build_shard s =
+    let lo = min np (s * chunk) and hi = min np ((s + 1) * chunk) in
+    let n_owned = hi - lo in
+    let owned = Array.sub topo.Topology.present_nodes lo n_owned in
+    Array.iteri (fun l v -> g2l.(v) <- l) owned;
+    (* pass 1 over owned rows: degrees, halo discovery, cut edges *)
+    let halo = ref [] and n_halo = ref 0 and cut = ref 0 in
+    let off = Array.make (n_owned + 1) 0 in
+    for l = 0 to n_owned - 1 do
+      let v = owned.(l) in
+      off.(l + 1) <- g_off.(v + 1) - g_off.(v);
+      for j = g_off.(v) to g_off.(v + 1) - 1 do
+        let u = g_adj.(j) in
+        if owner.(u) <> s then begin
+          incr cut;
+          if g2l.(u) < 0 then begin
+            g2l.(u) <- n_owned + !n_halo;
+            incr n_halo;
+            halo := u :: !halo
+          end
+        end
+      done
+    done;
+    for l = 0 to n_owned - 1 do
+      off.(l + 1) <- off.(l) + off.(l + 1)
+    done;
+    let n_local = n_owned + !n_halo in
+    let l2g = Array.make n_local 0 in
+    Array.blit owned 0 l2g 0 n_owned;
+    List.iter
+      (fun u ->
+        l2g.(g2l.(u)) <- u)
+      !halo;
+    (* pass 2: fill the compact CSR and count halo-row degrees *)
+    let m = off.(n_owned) in
+    let adj = Array.make m 0 and eid = Array.make m 0 in
+    let halo_off = Array.make (!n_halo + 1) 0 in
+    for l = 0 to n_owned - 1 do
+      let v = owned.(l) in
+      let pos = ref off.(l) in
+      for j = g_off.(v) to g_off.(v + 1) - 1 do
+        let lu = g2l.(g_adj.(j)) in
+        adj.(!pos) <- lu;
+        eid.(!pos) <- g_eid.(j);
+        if lu >= n_owned then
+          halo_off.(lu - n_owned + 1) <- halo_off.(lu - n_owned + 1) + 1;
+        incr pos
+      done
+    done;
+    for h = 0 to !n_halo - 1 do
+      halo_off.(h + 1) <- halo_off.(h) + halo_off.(h + 1)
+    done;
+    let halo_adj = Array.make halo_off.(!n_halo) 0 in
+    let halo_fill = Array.copy halo_off in
+    for l = 0 to n_owned - 1 do
+      for j = off.(l) to off.(l + 1) - 1 do
+        let lu = adj.(j) in
+        if lu >= n_owned then begin
+          let h = lu - n_owned in
+          halo_adj.(halo_fill.(h)) <- l;
+          halo_fill.(h) <- halo_fill.(h) + 1
+        end
+      done
+    done;
+    (* reset scratch for the next shard *)
+    Array.iter (fun v -> g2l.(v) <- -1) owned;
+    List.iter (fun u -> g2l.(u) <- -1) !halo;
+    {
+      id = s;
+      owned;
+      n_owned;
+      n_local;
+      l2g;
+      off;
+      adj;
+      eid;
+      halo_off;
+      halo_adj;
+      xoff = [||];
+      xshard = [||];
+      xslot = [||];
+      cut_edges = !cut;
+    }
+  in
+  let shards_arr = Array.init s_count build_shard in
+  (* Exchange routes: walk target shards in ascending order, their halo
+     slots in ascending order, and append each (target, slot) to the
+     owner's route list for the source node. A stable counting sort by
+     source local then turns the per-shard append lists into CSR routes
+     whose per-node order is ascending (target, slot) — the order the
+     executor uses, making the exchange schedule deterministic. *)
+  let route_src = Array.make s_count [||]
+  and route_dst = Array.make s_count [||]
+  and route_slot = Array.make s_count [||]
+  and route_n = Array.make s_count 0 in
+  (* capacity: total halo references to each owner shard *)
+  let route_cap = Array.make s_count 0 in
+  for t = 0 to s_count - 1 do
+    let sh = shards_arr.(t) in
+    for h = sh.n_owned to sh.n_local - 1 do
+      let s = owner.(sh.l2g.(h)) in
+      route_cap.(s) <- route_cap.(s) + 1
+    done
+  done;
+  for s = 0 to s_count - 1 do
+    route_src.(s) <- Array.make (max 1 route_cap.(s)) 0;
+    route_dst.(s) <- Array.make (max 1 route_cap.(s)) 0;
+    route_slot.(s) <- Array.make (max 1 route_cap.(s)) 0
+  done;
+  for t = 0 to s_count - 1 do
+    let sh = shards_arr.(t) in
+    for h = sh.n_owned to sh.n_local - 1 do
+      let v = sh.l2g.(h) in
+      let s = owner.(v) in
+      let k = route_n.(s) in
+      route_src.(s).(k) <- slot.(v);
+      route_dst.(s).(k) <- t;
+      route_slot.(s).(k) <- h;
+      route_n.(s) <- k + 1
+    done
+  done;
+  let shards_arr =
+    Array.map
+      (fun sh ->
+        let s = sh.id in
+        let nr = route_n.(s) in
+        let xoff = Array.make (sh.n_owned + 1) 0 in
+        for k = 0 to nr - 1 do
+          xoff.(route_src.(s).(k) + 1) <- xoff.(route_src.(s).(k) + 1) + 1
+        done;
+        for l = 0 to sh.n_owned - 1 do
+          xoff.(l + 1) <- xoff.(l) + xoff.(l + 1)
+        done;
+        let xshard = Array.make nr 0 and xslot = Array.make nr 0 in
+        let fill = Array.copy xoff in
+        for k = 0 to nr - 1 do
+          let l = route_src.(s).(k) in
+          xshard.(fill.(l)) <- route_dst.(s).(k);
+          xslot.(fill.(l)) <- route_slot.(s).(k);
+          fill.(l) <- fill.(l) + 1
+        done;
+        { sh with xoff; xshard; xslot })
+      shards_arr
+  in
+  { topo; shards = shards_arr; owner }
+
+(* ---------- plan cache ----------
+
+   Same keying discipline as [Topology.compile_cached]: the semi-graph
+   stamp identifies the view, the generation bumps on any mask mutation,
+   and the shard count distinguishes plans over one snapshot. Unlike the
+   topology cache this one is only ever reached from the coordinating
+   domain (plans are built during run setup, never inside pool tasks),
+   so no mutex is needed. *)
+
+let cache : (int * int * int, t) Hashtbl.t = Hashtbl.create 16
+let cache_order : (int * int * int) Queue.t = Queue.create ()
+let cache_limit = 16
+
+let clear_cache () =
+  Hashtbl.reset cache;
+  Queue.clear cache_order
+
+let build_cached ~topo ~shards =
+  let sg = topo.Topology.sg in
+  let key = (Semi_graph.stamp sg, Semi_graph.generation sg, shards) in
+  match Hashtbl.find_opt cache key with
+  | Some p when p.topo == topo -> (p, true)
+  | _ ->
+    let p = build ~topo ~shards in
+    if not (Hashtbl.mem cache key) then begin
+      while Queue.length cache_order >= cache_limit do
+        Hashtbl.remove cache (Queue.pop cache_order)
+      done;
+      Hashtbl.add cache key p;
+      Queue.push key cache_order
+    end
+    else Hashtbl.replace cache key p;
+    (p, false)
+
+let n_shards t = Array.length t.shards
+
+let cut_edges_total t =
+  Array.fold_left (fun acc sh -> acc + sh.cut_edges) 0 t.shards
+
+let imbalance_permille t =
+  let np = t.topo.Topology.n_present in
+  if np = 0 then 1000
+  else begin
+    let s_count = Array.length t.shards in
+    let mx = Array.fold_left (fun acc sh -> max acc sh.n_owned) 0 t.shards in
+    mx * s_count * 1000 / np
+  end

@@ -534,6 +534,68 @@ let test_topology_cache_hit_and_invalidation () =
   let _, hit4 = Topology.compile_cached_stat sg in
   check "no-op hide keeps the entry live" true hit4
 
+let test_topology_cache_eviction_generation () =
+  (* generation bumps (hide_node / hide_edge) interleaved with FIFO
+     overflow: every transition is predicted and the hit/miss counters
+     must account for all of them exactly *)
+  Topology.clear_cache ();
+  Topology.set_cache_limit 2;
+  let sg = Semi_graph.of_graph (Gen.random_tree ~n:30 ~seed:41) in
+  let sg2 = Semi_graph.of_graph (Gen.path 10) in
+  let sg3 = Semi_graph.of_graph (Gen.star 8) in
+  let h0, m0 = Topology.cache_stats () in
+  check "initial compile misses" true (not (snd (Topology.compile_cached_stat sg)));
+  check "recompile hits" true (snd (Topology.compile_cached_stat sg));
+  Semi_graph.hide_edge sg 0;
+  check "hide_edge invalidates" true
+    (not (snd (Topology.compile_cached_stat sg)));
+  Semi_graph.hide_node sg 1;
+  (* third generation of the same view: FIFO (limit 2) drops gen 0 *)
+  check "hide_node invalidates again" true
+    (not (snd (Topology.compile_cached_stat sg)));
+  (* two fresh views overflow the bound and evict both sg generations *)
+  check "fresh view misses" true (not (snd (Topology.compile_cached_stat sg2)));
+  check "second fresh view misses" true
+    (not (snd (Topology.compile_cached_stat sg3)));
+  check "sg evicted by overflow" true
+    (not (snd (Topology.compile_cached_stat sg)));
+  check "sg2 evicted by sg reinsert" true
+    (not (snd (Topology.compile_cached_stat sg2)));
+  check "sg3 evicted by sg2 reinsert" true
+    (not (snd (Topology.compile_cached_stat sg3)));
+  let h1, m1 = Topology.cache_stats () in
+  check_int "exactly one hit" 1 (h1 - h0);
+  check_int "exactly eight misses" 8 (m1 - m0);
+  (* the Runtime span counters must mirror the cache stats *)
+  Topology.clear_cache ();
+  let h2, m2 = Topology.cache_stats () in
+  let flood ~sg =
+    ignore
+      (Runtime.run ~sg
+         ~init:(fun v -> v = 0)
+         ~step:flood_step
+         ~halted:(fun s -> s)
+         ~max_rounds:20)
+  in
+  let (), root =
+    Tl_obs.Span.run "cache-counters" (fun () ->
+        flood ~sg:sg2;
+        flood ~sg:sg2;
+        (* hide the far endpoint, not the flood source at node 0 *)
+        Semi_graph.hide_node sg2 9;
+        flood ~sg:sg2)
+  in
+  let h3, m3 = Topology.cache_stats () in
+  let counters = Tl_obs.Span.counters root in
+  let counter k = try List.assoc k counters with Not_found -> 0 in
+  check_int "span topo:cache_hit matches stats" (h3 - h2)
+    (counter "topo:cache_hit");
+  check_int "span topo:cache_miss matches stats" (m3 - m2)
+    (counter "topo:cache_miss");
+  check_int "one hit via runtime" 1 (h3 - h2);
+  check_int "two misses via runtime" 2 (m3 - m2);
+  Topology.set_cache_limit 64
+
 let test_topology_cache_limit () =
   Topology.clear_cache ();
   (match Topology.set_cache_limit (-1) with
@@ -564,6 +626,8 @@ let () =
               test_topology_cache_hit_and_invalidation;
             Alcotest.test_case "compile cache FIFO limit" `Quick
               test_topology_cache_limit;
+            Alcotest.test_case "cache eviction: generation bumps x FIFO"
+              `Quick test_topology_cache_eviction_generation;
           ] );
       ( "pool",
         [
