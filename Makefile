@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: build test bench bench-full bench-smoke clean
+.PHONY: build test bench bench-full bench-smoke serve-smoke clean
 
 build:
 	dune build
@@ -8,11 +8,11 @@ build:
 test:
 	dune runtest
 
-# Full experiment regeneration (slow: every table E1-E14, A, B, B6-B8).
+# Full experiment regeneration (slow: every table E1-E14, A, B, B6-B9).
 bench:
 	dune exec bench/main.exe
 
-EXPERIMENTS = E1-E3 E4-E5 E6 E7 E8 E9 E10 E11 E12 E13 E14 A B B6 B7 B8
+EXPERIMENTS = E1-E3 E4-E5 E6 E7 E8 E9 E10 E11 E12 E13 E14 A B B6 B7 B8 B9
 
 # Regenerate every committed bench artifact (BENCH_*.json, bench_csv/ +
 # MANIFEST.csv, bench_output.txt), one process per experiment.  The
@@ -40,7 +40,22 @@ bench-smoke:
 	TL_POOL_BENCH_N=2000 dune exec bench/main.exe -- B7
 	TL_SHARD_BENCH_N=2000 dune exec bench/main.exe -- B8
 	dune exec bench/regress.exe -- --tolerance 5.0 bench-baseline.json BENCH_engine.json
+	cp BENCH_serve.json serve-baseline.json
+	TL_SERVE_BENCH_N=2000 TL_SERVE_BENCH_R=20 dune exec bench/main.exe -- B9
+	dune exec bench/regress.exe -- --tolerance 5.0 serve-baseline.json BENCH_serve.json
 	dune exec examples/quickstart.exe
+
+# End-to-end smoke of the serving layer: the example client spawns the
+# real daemon over pipes (cold request, warm cache-hit repeat, stats,
+# shutdown); the grep asserts the clean exit and the digest check
+# asserts cold and warm served bit-identical results.
+serve-smoke:
+	dune build bin/tree_local_serve.exe examples/serve_client.exe
+	dune exec examples/serve_client.exe | tee serve_smoke.out
+	grep -q "daemon exited cleanly" serve_smoke.out
+	test "$$(grep -oE 'digest=[0-9a-f]+' serve_smoke.out | head -2 | sort -u | wc -l)" -eq 1
+	grep -q "cache_hit=true" serve_smoke.out
+	rm -f serve_smoke.out
 
 clean:
 	dune clean

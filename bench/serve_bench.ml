@@ -1,0 +1,148 @@
+(* ---------- B9: serving daemon load generator (emits BENCH_serve.json) ----------
+
+   Spawns the real tree_local_serve.exe over pipes and drives it as a
+   closed-loop client: send one ndjson request, wait for its response,
+   measure the wall-clock between them. Two phases per problem:
+
+   - cold: every request names a different seed, so every request is an
+     instance-cache miss — generator + compile + solve on each;
+   - warm: every request names the same spec, so after one unmeasured
+     priming request the daemon serves pure cache hits (the instance,
+     its compiled topology and — in shard mode — its plan are reused).
+
+   The per-request latencies aggregate to p50/p99 per phase plus a
+   requests/sec figure; warm must show cache hits and identical digests
+   (served results are deterministic, cached or not). Measurements land
+   in BENCH_serve.json in the same kernels/modes/wall_s schema as
+   BENCH_engine.json, so bench/regress.exe gates them unchanged.
+   Instance size and request count are overridable via TL_SERVE_BENCH_N
+   and TL_SERVE_BENCH_R (CI smoke). *)
+
+module Json = Tl_obs.Json
+module P = Tl_serve.Protocol
+
+let bench_n () =
+  match Option.bind (Sys.getenv_opt "TL_SERVE_BENCH_N") int_of_string_opt with
+  | Some n when n > 1 -> n
+  | _ -> 20_000
+
+let bench_r () =
+  match Option.bind (Sys.getenv_opt "TL_SERVE_BENCH_R") int_of_string_opt with
+  | Some r when r > 1 -> r
+  | _ -> 60
+
+let daemon_path () =
+  let p =
+    Filename.concat
+      (Filename.dirname Sys.executable_name)
+      "../bin/tree_local_serve.exe"
+  in
+  if Sys.file_exists p then p
+  else failwith ("B9: daemon binary not found at " ^ p)
+
+let spec ~n ~seed =
+  P.Family { family = "random-tree"; n; seed; a = 1; delta = 8 }
+
+(* one closed-loop request; returns (latency_s, solved) *)
+let roundtrip inc out req =
+  let t0 = Unix.gettimeofday () in
+  output_string out (Json.to_line (P.request_to_json req));
+  flush out;
+  let line = input_line inc in
+  let dt = Unix.gettimeofday () -. t0 in
+  match P.response_of_json (Json.parse line) with
+  | Ok { P.outcome = P.Solved s; _ } -> (dt, s)
+  | Ok { P.outcome = P.Error (_, msg); _ } -> failwith ("B9: request failed: " ^ msg)
+  | Ok _ -> failwith "B9: unexpected response kind"
+  | Error msg -> failwith ("B9: bad response: " ^ msg)
+
+let percentile sorted p =
+  let len = Array.length sorted in
+  sorted.(min (len - 1) (int_of_float (p *. float_of_int (len - 1) +. 0.5)))
+
+let summarize lats =
+  let a = Array.of_list lats in
+  Array.sort compare a;
+  let total = Array.fold_left ( +. ) 0. a in
+  ( percentile a 0.50,
+    percentile a 0.99,
+    if total > 0. then float_of_int (Array.length a) /. total else 0. )
+
+(* drive one problem through both phases over a fresh daemon *)
+let drive ~problem ~n ~r =
+  let inc, out = Unix.open_process (daemon_path ()) in
+  Fun.protect
+    ~finally:(fun () -> ignore (Unix.close_process (inc, out)))
+    (fun () ->
+      let request ~seed =
+        P.request ~id:"b9" ~problem ~spec:(spec ~n ~seed) ~want_span:false ()
+      in
+      (* cold: distinct seeds, every request builds its instance *)
+      let cold = ref [] in
+      for i = 1 to r do
+        let dt, s = roundtrip inc out (request ~seed:i) in
+        if s.P.cache_hit then failwith "B9: cold request hit the cache";
+        cold := dt :: !cold
+      done;
+      (* warm: one spec; prime once (unmeasured), then pure cache hits *)
+      let warm_seed = r + 1000 in
+      let _, primed = roundtrip inc out (request ~seed:warm_seed) in
+      let warm = ref [] and hits = ref 0 in
+      for _ = 1 to r do
+        let dt, s = roundtrip inc out (request ~seed:warm_seed) in
+        if s.P.cache_hit then incr hits;
+        if s.P.digest <> primed.P.digest then
+          failwith "B9: warm digest diverged from the primed run";
+        warm := dt :: !warm
+      done;
+      if !hits = 0 then failwith "B9: warm phase saw no cache hits";
+      output_string out (Json.to_line (P.control_to_json ~id:"bye" P.Shutdown));
+      flush out;
+      (summarize !cold, summarize !warm, !hits))
+
+let emit_json ~file ~n ~r rows =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b
+    "{\"bench\":\"serve\",\"family\":\"random-tree\",\"n\":%d,\"requests\":%d,\
+     \"cores\":%d,\"kernels\":[" n r
+    (Domain.recommended_domain_count ());
+  List.iteri
+    (fun i (problem, ((c50, c99, crps), (w50, w99, wrps), hits)) ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b
+        "\n {\"kernel\":\"serve-%s\",\"deterministic\":true,\
+         \"rps_cold\":%.1f,\"rps_warm\":%.1f,\"warm_cache_hits\":%d,\"modes\":[\n\
+        \  {\"mode\":\"cold_p50\",\"wall_s\":%.6f},\n\
+        \  {\"mode\":\"cold_p99\",\"wall_s\":%.6f},\n\
+        \  {\"mode\":\"warm_p50\",\"wall_s\":%.6f},\n\
+        \  {\"mode\":\"warm_p99\",\"wall_s\":%.6f}]}"
+        problem crps wrps hits c50 c99 w50 w99)
+    rows;
+  Buffer.add_string b "]}\n";
+  let oc = open_out file in
+  output_string oc (Buffer.contents b);
+  close_out oc
+
+let run () =
+  let n = bench_n () and r = bench_r () in
+  Util.heading
+    (Printf.sprintf
+       "B9: serving daemon — closed-loop latency, cold vs warm (n=%d, %d \
+        requests/phase)"
+       n r);
+  let problems = [ "flood"; "mis" ] in
+  let rows = List.map (fun p -> (p, drive ~problem:p ~n ~r)) problems in
+  Printf.printf "  %-14s %12s %12s %12s %12s %10s %6s\n" "kernel" "cold_p50"
+    "cold_p99" "warm_p50" "warm_p99" "warm_rps" "hits";
+  List.iter
+    (fun (p, ((c50, c99, _), (w50, w99, wrps), hits)) ->
+      Printf.printf "  serve-%-8s %10.3fms %10.3fms %10.3fms %10.3fms %10.1f %6d\n"
+        p (c50 *. 1e3) (c99 *. 1e3) (w50 *. 1e3) (w99 *. 1e3) wrps hits;
+      if w50 >= c50 then
+        Printf.printf
+          "  note: warm p50 not below cold p50 for serve-%s (timer noise at \
+           this n)\n"
+          p)
+    rows;
+  emit_json ~file:"BENCH_serve.json" ~n ~r rows;
+  Printf.printf "wrote BENCH_serve.json\n"

@@ -6,6 +6,7 @@
                 direct truly local baseline) and report rounds + validity
      decompose  run rake-and-compress / Algorithm 3 and print certificates
      predict    evaluate g(n) and the predicted round counts for a model f
+     client     send one request to a running tree-local-serve daemon
 *)
 
 open Cmdliner
@@ -364,13 +365,27 @@ let solve problem method_ family n seed a delta k engine shards pool trace
       Tl_problems.Edge_coloring.problem g labeling cost
   | p, m -> failwith (Printf.sprintf "unknown problem/method %s/%s" p m)
 
+(* Cross-argument validation the per-argument convs cannot express
+   (shard count vs instance size, shard backend availability, pool
+   bounds) — shared with the serving daemon's admission check so the
+   CLI and the daemon reject exactly the same knob combinations. *)
+let solve_checked problem method_ family n seed a delta k engine shards pool
+    trace profile report_fmt =
+  match Tl_serve.Protocol.resolve_knobs ~engine ~shards ~pool ~n with
+  | Error msg -> `Error (false, msg)
+  | Ok _mode ->
+    `Ok
+      (solve problem method_ family n seed a delta k engine shards pool trace
+         profile report_fmt)
+
 let solve_cmd =
   let doc = "Solve a problem with the paper's transformation." in
   Cmd.v (Cmd.info "solve" ~doc)
     Term.(
-      const solve $ problem_arg $ method_arg $ family_arg $ n_arg $ seed_arg
-      $ a_arg $ delta_arg $ k_arg $ engine_arg $ shards_arg $ pool_arg
-      $ trace_arg $ profile_arg $ report_fmt_arg)
+      ret
+        (const solve_checked $ problem_arg $ method_arg $ family_arg $ n_arg
+       $ seed_arg $ a_arg $ delta_arg $ k_arg $ engine_arg $ shards_arg
+       $ pool_arg $ trace_arg $ profile_arg $ report_fmt_arg))
 
 (* ---------- decompose ---------- *)
 
@@ -459,6 +474,85 @@ let predict_cmd =
   Cmd.v (Cmd.info "predict" ~doc)
     Term.(const predict $ f_arg $ n_arg $ a_arg $ rho_arg)
 
+(* ---------- client ---------- *)
+
+let socket_arg =
+  let doc = "Unix-domain socket of a running tree-local-serve daemon." in
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let cmd_arg =
+  let doc =
+    "Send a control message instead of a solve request: $(b,ping), \
+     $(b,stats) or $(b,shutdown)."
+  in
+  let module P = Tl_serve.Protocol in
+  Arg.(
+    value
+    & opt
+        (some
+           (enum
+              [ ("ping", P.Ping); ("stats", P.Stats); ("shutdown", P.Shutdown) ]))
+        None
+    & info [ "cmd" ] ~docv:"CMD" ~doc)
+
+let span_arg =
+  let doc = "Ask the daemon for the per-request span report." in
+  Arg.(value & flag & info [ "span" ] ~doc)
+
+(* One request per invocation: connect, send a single ndjson line, print
+   the daemon's response line, exit 0 on ok:true / 1 on an error
+   outcome. The connection is closed after the response, so the daemon
+   (one connection at a time) is immediately free for the next client. *)
+let client socket cmd problem method_ family n seed a delta k engine shards
+    pool span =
+  let module P = Tl_serve.Protocol in
+  let module Json = Tl_obs.Json in
+  let req =
+    match cmd with
+    | Some c -> P.control_to_json ~id:"cli" c
+    | None ->
+      let spec = P.Family { family; n; seed; a; delta } in
+      P.request_to_json
+        (P.request ~id:"cli" ~problem ~method_ ~spec ?k ~engine ~shards ~pool
+           ~want_span:span ())
+  in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | exception Unix.Unix_error (e, _, _) ->
+    Printf.eprintf "client: cannot connect to %s (%s)\n" socket
+      (Unix.error_message e);
+    exit 1
+  | () ->
+    let out = Unix.out_channel_of_descr fd in
+    let inc = Unix.in_channel_of_descr fd in
+    output_string out (Json.to_line req);
+    flush out;
+    (match input_line inc with
+    | exception End_of_file ->
+      Printf.eprintf "client: daemon closed the connection\n";
+      exit 1
+    | line ->
+      print_endline line;
+      let ok =
+        match P.response_of_json (Json.parse line) with
+        | Ok { P.outcome = P.Error _; _ } -> false
+        | Ok _ -> true
+        | Error _ | (exception Json.Parse_error _) -> false
+      in
+      Unix.close fd;
+      if not ok then exit 1)
+
+let client_cmd =
+  let doc = "Send one request to a running tree-local-serve daemon." in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(
+      const client $ socket_arg $ cmd_arg $ problem_arg $ method_arg
+      $ family_arg $ n_arg $ seed_arg $ a_arg $ delta_arg $ k_arg $ engine_arg
+      $ shards_arg $ pool_arg $ span_arg)
+
 (* ---------- main ---------- *)
 
 let () =
@@ -469,4 +563,5 @@ let () =
   let info = Cmd.info "tree-local" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ generate_cmd; solve_cmd; decompose_cmd; predict_cmd ]))
+       (Cmd.group info
+          [ generate_cmd; solve_cmd; decompose_cmd; predict_cmd; client_cmd ]))

@@ -1,0 +1,93 @@
+(* tree-local-serve: the long-running serving daemon.
+
+   Reads ndjson run requests (lib/serve/protocol.mli documents the wire
+   schema) and writes one ndjson response per request, either over
+   stdin/stdout (the default, pipe-friendly mode) or over a Unix-domain
+   socket with --socket. *)
+
+open Cmdliner
+module Server = Tl_serve.Server
+
+let socket_arg =
+  let doc =
+    "Listen on a Unix-domain socket at $(docv) (serving one connection \
+     at a time) instead of stdin/stdout. A stale socket file at the \
+     path is replaced; the file is removed on shutdown."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let depth_arg =
+  let doc =
+    "Job-queue depth: a request arriving while $(docv) jobs are already \
+     queued in the cycle is rejected with a structured error instead of \
+     waiting (backpressure)."
+  in
+  let pos_int =
+    let parse s =
+      match int_of_string_opt s with
+      | Some d when d >= 1 -> Ok d
+      | _ -> Error (`Msg (Printf.sprintf "invalid depth %S (expected >= 1)" s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(
+    value
+    & opt pos_int Server.default_config.Server.depth
+    & info [ "depth" ] ~docv:"D" ~doc)
+
+let cache_arg =
+  let doc =
+    "Instance-cache capacity: keep up to $(docv) generated instances \
+     (graph, ID assignment, compiled-topology handle) keyed by graph \
+     spec, so same-topology requests skip regeneration. 0 disables \
+     caching."
+  in
+  let nonneg =
+    let parse s =
+      match int_of_string_opt s with
+      | Some c when c >= 0 -> Ok c
+      | _ ->
+        Error (`Msg (Printf.sprintf "invalid cache size %S (expected >= 0)" s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(
+    value
+    & opt nonneg Server.default_config.Server.cache_slots
+    & info [ "cache-slots" ] ~docv:"C" ~doc)
+
+let max_n_arg =
+  let doc = "Admission guard: reject requests for instances above $(docv) nodes." in
+  let pos_int =
+    let parse s =
+      match int_of_string_opt s with
+      | Some m when m >= 1 -> Ok m
+      | _ -> Error (`Msg (Printf.sprintf "invalid max-n %S (expected >= 1)" s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(
+    value
+    & opt pos_int Server.default_config.Server.max_n
+    & info [ "max-n" ] ~docv:"N" ~doc)
+
+let serve socket depth cache_slots max_n =
+  let config = { Server.depth; cache_slots; max_n } in
+  let t = Server.create ~config () in
+  match socket with
+  | None -> Server.serve_stdio t
+  | Some path ->
+    Printf.eprintf "tree-local-serve: listening on %s\n%!" path;
+    Server.listen_unix t ~path
+
+let () =
+  let doc =
+    "Serve tree-local run requests as ndjson over stdin/stdout or a \
+     Unix-domain socket."
+  in
+  let info = Cmd.info "tree-local-serve" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.v info
+          Term.(const serve $ socket_arg $ depth_arg $ cache_arg $ max_n_arg)))

@@ -281,3 +281,69 @@ let to_int = function
 let to_str = function Str s -> Some s | _ -> None
 let to_list = function Arr items -> Some items | _ -> None
 let to_assoc = function Obj fields -> Some fields | _ -> None
+
+(* ---------- ndjson ---------- *)
+
+let to_line v = to_string v ^ "\n"
+
+module Ndjson = struct
+  (* A growing byte buffer with a consumption cursor. Consumed bytes are
+     dropped lazily: when the cursor passes half of a large buffer the
+     live tail is shifted down, so a long-running stream stays O(longest
+     line), not O(stream). *)
+  type reader = { buf : Buffer.t; mutable start : int }
+
+  let reader () = { buf = Buffer.create 256; start = 0 }
+
+  let feed r ?(pos = 0) ?len s =
+    let len = Option.value len ~default:(String.length s - pos) in
+    if pos < 0 || len < 0 || pos + len > String.length s then
+      invalid_arg "Ndjson.feed";
+    Buffer.add_substring r.buf s pos len
+
+  let compact r =
+    if r.start > 4096 && r.start * 2 > Buffer.length r.buf then begin
+      let tail = Buffer.sub r.buf r.start (Buffer.length r.buf - r.start) in
+      Buffer.clear r.buf;
+      Buffer.add_string r.buf tail;
+      r.start <- 0
+    end
+
+  let is_blank line =
+    String.for_all
+      (fun ch -> ch = ' ' || ch = '\t' || ch = '\r' || ch = '\n')
+      line
+
+  (* Next complete line (newline consumed, not included), advancing the
+     cursor — or None when no newline is buffered. *)
+  let rec next_line r =
+    let len = Buffer.length r.buf in
+    let rec find i = if i >= len then None else
+      if Buffer.nth r.buf i = '\n' then Some i else find (i + 1)
+    in
+    match find r.start with
+    | None -> None
+    | Some nl ->
+      let line = Buffer.sub r.buf r.start (nl - r.start) in
+      r.start <- nl + 1;
+      compact r;
+      if is_blank line then next_line r else Some line
+
+  let next r =
+    match next_line r with
+    | None -> None
+    | Some line -> Some (parse line)
+
+  let pending r = Buffer.sub r.buf r.start (Buffer.length r.buf - r.start)
+end
+
+let read_ndjson s =
+  let r = Ndjson.reader () in
+  Ndjson.feed r s;
+  if String.length s > 0 && s.[String.length s - 1] <> '\n' then
+    (* terminate a final unterminated line so it is not silently lost *)
+    Ndjson.feed r "\n";
+  let rec go acc =
+    match Ndjson.next r with None -> List.rev acc | Some v -> go (v :: acc)
+  in
+  go []

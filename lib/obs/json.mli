@@ -51,3 +51,43 @@ val to_int : t -> int option
 val to_str : t -> string option
 val to_list : t -> t list option
 val to_assoc : t -> (string * t) list option
+
+(** {1 Ndjson} — newline-delimited JSON, one value per line.
+
+    The serve protocol (and any future wire format) frames values as
+    single lines: {!to_line} is the emitter, {!Ndjson} the incremental
+    consumer. {!to_string} already never emits a raw newline (control
+    characters are escaped), so every value round-trips through one
+    line. *)
+
+val to_line : t -> string
+(** [to_string v ^ "\n"] — one compact, newline-terminated line. *)
+
+module Ndjson : sig
+  type reader
+  (** Incremental line-splitting reader: feed arbitrary byte chunks
+      (network reads, pipe reads, whole files), pull one parsed value
+      per complete input line. Blank (whitespace-only) lines are
+      skipped. *)
+
+  val reader : unit -> reader
+
+  val feed : reader -> ?pos:int -> ?len:int -> string -> unit
+  (** Append a chunk (default the whole string) to the reader's
+      buffer. Raises [Invalid_argument] on an out-of-bounds
+      [pos]/[len]. *)
+
+  val next : reader -> t option
+  (** The next complete line's value, or [None] when no complete line
+      is buffered (feed more, or the stream ended mid-line). A
+      malformed line raises {!Parse_error} — the line is consumed, so
+      a caller may report the error and keep pulling. *)
+
+  val pending : reader -> string
+  (** Bytes buffered after the last complete line (the partial tail),
+      e.g. to diagnose a stream that ended mid-value. *)
+end
+
+val read_ndjson : string -> t list
+(** Parse a whole ndjson string (blank lines skipped). Raises
+    {!Parse_error} on the first malformed line. *)

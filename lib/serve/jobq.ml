@@ -1,0 +1,36 @@
+type 'a t = {
+  depth : int;
+  q : 'a Queue.t;
+  mutable admitted : int;
+  mutable rejected : int;
+}
+
+let create ~depth =
+  if depth < 1 then invalid_arg "Jobq.create: depth must be >= 1";
+  { depth; q = Queue.create (); admitted = 0; rejected = 0 }
+
+let depth t = t.depth
+let length t = Queue.length t.q
+let is_empty t = Queue.is_empty t.q
+
+let admit t x =
+  if Queue.length t.q >= t.depth then begin
+    t.rejected <- t.rejected + 1;
+    false
+  end
+  else begin
+    Queue.push x t.q;
+    t.admitted <- t.admitted + 1;
+    true
+  end
+
+let drain t =
+  let rec go acc =
+    match Queue.take_opt t.q with
+    | None -> List.rev acc
+    | Some x -> go (x :: acc)
+  in
+  go []
+
+let admitted t = t.admitted
+let rejected t = t.rejected

@@ -1,0 +1,31 @@
+(** Bounded FIFO job queue with an explicit admission policy.
+
+    The serving daemon's backpressure primitive: a queue of fixed depth
+    that {e rejects} (rather than blocks or drops) when full. Admission
+    and drain are deterministic — jobs come out in exactly the order
+    they were admitted, and the admitted/rejected counters depend only
+    on the call sequence, never on timing. Single-domain use only (the
+    server loop is single-threaded by design; parallelism lives below,
+    in the engine's domain pool). *)
+
+type 'a t
+
+val create : depth:int -> 'a t
+(** Raises [Invalid_argument] when [depth < 1]. *)
+
+val depth : 'a t -> int
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val admit : 'a t -> 'a -> bool
+(** Enqueue, or return [false] (and count a rejection) when the queue
+    already holds [depth] jobs. *)
+
+val drain : 'a t -> 'a list
+(** All queued jobs in admission order; the queue is empty afterwards. *)
+
+val admitted : 'a t -> int
+(** Total jobs ever admitted. *)
+
+val rejected : 'a t -> int
+(** Total admissions refused on a full queue. *)

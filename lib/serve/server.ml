@@ -1,0 +1,516 @@
+module Json = Tl_obs.Json
+module Span = Tl_obs.Span
+module Report = Tl_obs.Report
+module Graph = Tl_graph.Graph
+module Gen = Tl_graph.Gen
+module Props = Tl_graph.Props
+module Semi_graph = Tl_graph.Semi_graph
+module Ids = Tl_local.Ids
+module Round_cost = Tl_local.Round_cost
+module Engine = Tl_engine.Engine
+module Topology = Tl_engine.Topology
+module Trace = Tl_engine.Trace
+module Pool = Tl_engine.Pool
+module Plan = Tl_shard.Plan
+module Pipeline = Tl_core.Pipeline
+module P = Protocol
+
+type config = { depth : int; cache_slots : int; max_n : int }
+
+let default_config = { depth = 64; cache_slots = 32; max_n = 2_000_000 }
+
+type stats_rec = {
+  mutable received : int;
+  mutable served : int;
+  mutable rejected : int;
+  mutable errors : int;
+  mutable batches : int;
+  mutable max_batch : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+}
+
+(* One cached instance per spec key. The semi-graph is lazy so pipeline
+   problems (which build their own internal views) never pay for it;
+   engine kernels (flood) force it once per instance, which is what
+   makes warm same-topology requests hit Topology.compile_cached and
+   Plan.build_cached instead of recompiling. *)
+type instance = {
+  graph : Graph.t;
+  ids : int array;
+  sg : Semi_graph.t Lazy.t;
+}
+
+type t = {
+  cfg : config;
+  queue : (int * P.request) Jobq.t;
+  cache : (string, instance) Hashtbl.t;
+  cache_order : string Queue.t;
+  stats : stats_rec;
+  mutable shutdown : bool;
+}
+
+let create ?(config = default_config) () =
+  if config.cache_slots < 0 then invalid_arg "Server.create: cache_slots < 0";
+  if config.max_n < 1 then invalid_arg "Server.create: max_n < 1";
+  {
+    cfg = config;
+    queue = Jobq.create ~depth:config.depth;
+    cache = Hashtbl.create 64;
+    cache_order = Queue.create ();
+    stats =
+      {
+        received = 0;
+        served = 0;
+        rejected = 0;
+        errors = 0;
+        batches = 0;
+        max_batch = 0;
+        cache_hits = 0;
+        cache_misses = 0;
+      };
+    shutdown = false;
+  }
+
+let config t = t.cfg
+let shutdown_requested t = t.shutdown
+
+let stats t =
+  let topo_h, topo_m = Topology.cache_stats () in
+  let plan_h, plan_m = Plan.cache_stats () in
+  [
+    ("received", t.stats.received);
+    ("served", t.stats.served);
+    ("rejected", t.stats.rejected);
+    ("errors", t.stats.errors);
+    ("batches", t.stats.batches);
+    ("max_batch", t.stats.max_batch);
+    ("queue_depth", t.cfg.depth);
+    ("serve:cache_hit", t.stats.cache_hits);
+    ("serve:cache_miss", t.stats.cache_misses);
+    ("topo:cache_hit", topo_h);
+    ("topo:cache_miss", topo_m);
+    ("plan:cache_hit", plan_h);
+    ("plan:cache_miss", plan_m);
+  ]
+
+(* ---------- instances ---------- *)
+
+(* Same family dispatch as the CLI's build_instance, so a daemon request
+   and a one-shot CLI run over the same spec see the same graph. *)
+let build_graph = function
+  | P.Edges { n; edges; _ } -> Graph.of_edges ~n edges
+  | P.Family { family; n; seed; a; delta } -> (
+    match family with
+    | "random-tree" -> Gen.random_tree ~n ~seed
+    | "balanced-tree" -> Gen.balanced_regular_tree ~delta ~n
+    | "path" -> Gen.path n
+    | "star" -> Gen.star n
+    | "caterpillar" -> Gen.caterpillar ~spine:(max 1 (n / 4)) ~legs:3
+    | "power-law" -> Gen.power_law_tree ~n ~seed
+    | "forest-union" -> Gen.forest_union ~n ~arboricity:a ~seed
+    | "planar" ->
+      Gen.triangulated_grid (max 2 (int_of_float (Float.sqrt (float_of_int n))))
+    | "grid" ->
+      let side = max 1 (int_of_float (Float.sqrt (float_of_int n))) in
+      Gen.grid side side
+    | other -> failwith (Printf.sprintf "unknown family %s" other))
+
+let build_instance spec =
+  let graph = build_graph spec in
+  let seed =
+    match spec with P.Family { seed; _ } | P.Edges { seed; _ } -> seed
+  in
+  (* same ID derivation as the CLI: permuted on seed + 1 *)
+  let ids = Ids.permuted ~n:(Graph.n_nodes graph) ~seed:(seed + 1) in
+  { graph; ids; sg = lazy (Semi_graph.of_graph graph) }
+
+(* FIFO-bounded lookup; counts a hit/miss in the server stats and
+   returns whether this call was served from cache. *)
+let instance t spec =
+  let key = P.spec_key spec in
+  match Hashtbl.find_opt t.cache key with
+  | Some inst ->
+    t.stats.cache_hits <- t.stats.cache_hits + 1;
+    (inst, true)
+  | None ->
+    t.stats.cache_misses <- t.stats.cache_misses + 1;
+    let inst = build_instance spec in
+    if t.cfg.cache_slots > 0 then begin
+      while Queue.length t.cache_order >= t.cfg.cache_slots do
+        Hashtbl.remove t.cache (Queue.pop t.cache_order)
+      done;
+      Hashtbl.add t.cache key inst;
+      Queue.push key t.cache_order
+    end;
+    (inst, false)
+
+(* ---------- validation ---------- *)
+
+let known_problems =
+  [
+    ("flood", [ "transform"; "direct"; "baseline" ]);
+    ("mis", [ "transform"; "direct" ]);
+    ("coloring", [ "transform"; "direct" ]);
+    ("matching", [ "transform"; "direct"; "baseline" ]);
+    ("edge-coloring", [ "transform"; "direct"; "baseline" ]);
+  ]
+
+let validate t (r : P.request) =
+  let n = P.spec_n r.spec in
+  match List.assoc_opt r.problem known_problems with
+  | None -> Error (Printf.sprintf "unknown problem %S" r.problem)
+  | Some methods when not (List.mem r.method_ methods) ->
+    Error
+      (Printf.sprintf "problem %S has no method %S" r.problem r.method_)
+  | Some _ ->
+    if n > t.cfg.max_n then
+      Error
+        (Printf.sprintf "instance size %d exceeds the admission limit %d" n
+           t.cfg.max_n)
+    else
+      P.resolve_knobs ~engine:r.engine ~shards:r.shards ~pool:r.pool ~n
+
+(* ---------- execution ---------- *)
+
+let with_knobs ~mode ~shards ~pool f =
+  let sm = !Engine.default_mode
+  and ss = !Engine.default_shards
+  and sp = !Pool.default_workers in
+  Engine.default_mode := mode;
+  Engine.default_shards := shards;
+  Pool.default_workers := pool;
+  Fun.protect
+    ~finally:(fun () ->
+      Engine.default_mode := sm;
+      Engine.default_shards := ss;
+      Pool.default_workers := sp)
+    f
+
+(* Collect every engine trace of [f] (chaining to any outer sink) to
+   report the measured engine rounds per request. *)
+let with_trace_collector f =
+  let traces = ref [] in
+  let saved = !Engine.trace_sink in
+  Engine.trace_sink :=
+    Some
+      (fun tr ->
+        traces := tr :: !traces;
+        match saved with Some outer -> outer tr | None -> ());
+  Fun.protect
+    ~finally:(fun () -> Engine.trace_sink := saved)
+    (fun () ->
+      let result = f () in
+      (result, List.rev !traces))
+
+let must_tree name g =
+  if not (Props.is_tree g) then
+    failwith (name ^ " via Theorem 12 needs a tree instance")
+
+type partial = {
+  p_digest : string;
+  p_rounds : int;
+  p_ledger : (string * int) list;
+  p_valid : bool;
+}
+
+let of_report ~graph (r : _ Pipeline.report) =
+  {
+    p_digest = P.digest_labeling ~graph r.Pipeline.labeling;
+    p_rounds = r.Pipeline.total_rounds;
+    p_ledger = Round_cost.phases r.Pipeline.cost;
+    p_valid = r.Pipeline.valid;
+  }
+
+let of_raw ~graph ~problem labeling cost =
+  {
+    p_digest = P.digest_labeling ~graph labeling;
+    p_rounds = Round_cost.total cost;
+    p_ledger = Round_cost.phases cost;
+    p_valid = Tl_problems.Nec.is_valid problem graph labeling;
+  }
+
+(* Flooding to a fixed point from node 0 — the repo's engine-kernel
+   workhorse, served straight off the cached semi-graph: warm requests
+   hit Topology.compile_cached (and Plan.build_cached in shard mode). *)
+let flood inst =
+  let sg = Lazy.force inst.sg in
+  let topo = Topology.compile_cached sg in
+  let n = Graph.n_nodes inst.graph in
+  let tr = Trace.create ~label:"serve:flood" () in
+  let o =
+    Engine.run_until_stable ~trace:tr ~topo
+      ~init:(fun v -> v = 0)
+      ~step:(fun ~round:_ ~node:_ s ~neighbors ->
+        s || List.exists (fun (_, _, su) -> su) neighbors)
+      ~equal:Bool.equal ~max_rounds:(n + 1) ()
+  in
+  Span.add_trace tr;
+  let cost = Round_cost.create () in
+  Round_cost.charge cost "flood" o.Engine.rounds;
+  {
+    p_digest = P.digest_array (fun b -> if b then 1 else 0) o.Engine.states;
+    p_rounds = o.Engine.rounds;
+    p_ledger = Round_cost.phases cost;
+    p_valid = true;
+  }
+
+let dispatch (r : P.request) inst =
+  let g = inst.graph and ids = inst.ids in
+  let a = match r.spec with P.Family { a; _ } -> a | P.Edges _ -> 1 in
+  let k = r.k in
+  match (r.problem, r.method_) with
+  | "flood", _ -> flood inst
+  | "mis", "transform" ->
+    must_tree "mis" g;
+    of_report ~graph:g (Pipeline.mis_on_tree ?k ~tree:g ~ids ())
+  | "coloring", "transform" ->
+    must_tree "coloring" g;
+    of_report ~graph:g (Pipeline.coloring_on_tree ?k ~tree:g ~ids ())
+  | "matching", "transform" ->
+    of_report ~graph:g (Pipeline.matching_on_graph ?k ~graph:g ~a ~ids ())
+  | "edge-coloring", "transform" ->
+    of_report ~graph:g (Pipeline.edge_coloring_on_graph ?k ~graph:g ~a ~ids ())
+  | "mis", "direct" -> of_report ~graph:g (Pipeline.mis_direct ~graph:g ~ids)
+  | "coloring", "direct" ->
+    of_report ~graph:g (Pipeline.coloring_direct ~graph:g ~ids)
+  | "matching", "direct" ->
+    of_report ~graph:g (Pipeline.matching_direct ~graph:g ~ids)
+  | "edge-coloring", "direct" ->
+    of_report ~graph:g (Pipeline.edge_coloring_direct ~graph:g ~ids)
+  | "matching", "baseline" ->
+    must_tree "baseline matching" g;
+    let labeling, cost = Tl_core.Baseline.matching_on_tree ~tree:g ~ids in
+    of_raw ~graph:g ~problem:Tl_problems.Matching.problem labeling cost
+  | "edge-coloring", "baseline" ->
+    must_tree "baseline edge-coloring" g;
+    let labeling, cost = Tl_core.Baseline.edge_coloring_on_tree ~tree:g ~ids in
+    of_raw ~graph:g ~problem:Tl_problems.Edge_coloring.problem labeling cost
+  | p, m -> failwith (Printf.sprintf "unknown problem/method %s/%s" p m)
+
+let error_message = function
+  | Failure msg -> msg
+  | Invalid_argument msg -> msg
+  | e -> Printexc.to_string e
+
+(* Execute one validated request under its knobs, inside a per-request
+   span whose report (phases, round charges, engine child spans) goes
+   back to the client on demand. *)
+let exec t (r : P.request) ~mode =
+  let inst, cache_hit = instance t r.spec in
+  let (partial, traces), span =
+    Span.run "serve:request" (fun () ->
+        Span.set_attr "problem" r.problem;
+        Span.set_attr "method" r.method_;
+        Span.set_attr "engine" (Engine.mode_to_string mode);
+        Span.set_attr "pool" (string_of_int r.pool);
+        Span.set_attr "spec" (P.spec_key r.spec);
+        Span.add_counter "serve:cache_hit" (if cache_hit then 1 else 0);
+        Span.add_counter "serve:cache_miss" (if cache_hit then 0 else 1);
+        with_knobs ~mode ~shards:r.shards ~pool:r.pool (fun () ->
+            with_trace_collector (fun () -> dispatch r inst)))
+  in
+  let engine_rounds =
+    List.fold_left (fun acc tr -> acc + (Trace.metrics tr).Trace.rounds) 0
+      traces
+  in
+  {
+    P.digest = partial.p_digest;
+    total_rounds = partial.p_rounds;
+    ledger = partial.p_ledger;
+    valid = partial.p_valid;
+    engine_rounds;
+    cache_hit;
+    span = (if r.want_span then Some (Report.to_json span) else None);
+  }
+
+let handle_request t (r : P.request) =
+  t.stats.received <- t.stats.received + 1;
+  match validate t r with
+  | Error msg ->
+    t.stats.errors <- t.stats.errors + 1;
+    { P.rid = r.id; outcome = P.Error (P.Bad_request, msg) }
+  | Ok mode -> (
+    match exec t r ~mode with
+    | solved ->
+      t.stats.served <- t.stats.served + 1;
+      { P.rid = r.id; outcome = P.Solved solved }
+    | exception e ->
+      t.stats.errors <- t.stats.errors + 1;
+      { P.rid = r.id; outcome = P.Error (P.Failed, error_message e) })
+
+(* Like handle_request but for already-admitted jobs: the request was
+   validated at admission, so a validation error here is impossible in
+   practice — still handled, for safety. *)
+let exec_admitted t (r : P.request) =
+  match validate t r with
+  | Error msg ->
+    t.stats.errors <- t.stats.errors + 1;
+    { P.rid = r.id; outcome = P.Error (P.Bad_request, msg) }
+  | Ok mode -> (
+    match exec t r ~mode with
+    | solved ->
+      t.stats.served <- t.stats.served + 1;
+      { P.rid = r.id; outcome = P.Solved solved }
+    | exception e ->
+      t.stats.errors <- t.stats.errors + 1;
+      { P.rid = r.id; outcome = P.Error (P.Failed, error_message e) })
+
+(* ---------- the admission / batching / drain cycle ---------- *)
+
+let control_response t id = function
+  | P.Ping -> { P.rid = id; outcome = P.Pong }
+  | P.Stats -> { P.rid = id; outcome = P.Stats_report (stats t) }
+  | P.Shutdown ->
+    t.shutdown <- true;
+    { P.rid = id; outcome = P.Pong }
+
+let handle_lines t lines =
+  let lines = Array.of_list lines in
+  let n = Array.length lines in
+  let slots : P.response option array = Array.make n None in
+  let controls = ref [] in
+  (* admission *)
+  Array.iteri
+    (fun i line ->
+      match Json.parse line with
+      | exception Json.Parse_error msg ->
+        slots.(i) <-
+          Some { P.rid = ""; outcome = P.Error (P.Bad_request, msg) }
+      | j -> (
+        match P.incoming_of_json j with
+        | Error msg ->
+          let rid =
+            Option.value ~default:""
+              (Option.bind (Json.member "id" j) Json.to_str)
+          in
+          slots.(i) <- Some { P.rid; outcome = P.Error (P.Bad_request, msg) }
+        | Ok (P.Control (id, c)) -> controls := (i, id, c) :: !controls
+        | Ok (P.Request r) -> (
+          t.stats.received <- t.stats.received + 1;
+          match validate t r with
+          | Error msg ->
+            t.stats.errors <- t.stats.errors + 1;
+            slots.(i) <-
+              Some { P.rid = r.id; outcome = P.Error (P.Bad_request, msg) }
+          | Ok _mode ->
+            if not (Jobq.admit t.queue (i, r)) then begin
+              t.stats.rejected <- t.stats.rejected + 1;
+              slots.(i) <-
+                Some
+                  {
+                    P.rid = r.id;
+                    outcome =
+                      P.Error
+                        ( P.Rejected,
+                          Printf.sprintf "queue full (depth %d)"
+                            (Jobq.depth t.queue) );
+                  }
+            end)))
+    lines;
+  (* drain, batching same-topology jobs back to back *)
+  let batch = Jobq.drain t.queue in
+  if batch <> [] then begin
+    t.stats.batches <- t.stats.batches + 1;
+    t.stats.max_batch <- max t.stats.max_batch (List.length batch)
+  end;
+  let by_key = Hashtbl.create 16 in
+  List.iter
+    (fun (i, r) ->
+      let key = P.spec_key r.P.spec in
+      Hashtbl.replace by_key key
+        ((i, r) :: Option.value ~default:[] (Hashtbl.find_opt by_key key)))
+    batch;
+  let done_keys = Hashtbl.create 16 in
+  List.iter
+    (fun (_, r) ->
+      let key = P.spec_key r.P.spec in
+      if not (Hashtbl.mem done_keys key) then begin
+        Hashtbl.add done_keys key ();
+        let group = List.rev (Hashtbl.find by_key key) in
+        List.iter (fun (i, r) -> slots.(i) <- Some (exec_admitted t r)) group
+      end)
+    batch;
+  (* controls observe the cycle's post-batch state *)
+  List.iter
+    (fun (i, id, c) -> slots.(i) <- Some (control_response t id c))
+    (List.rev !controls);
+  Array.to_list slots
+  |> List.filter_map (Option.map (fun r -> Json.to_line (P.response_to_json r)))
+
+(* ---------- IO loops ---------- *)
+
+let rec restart_on_eintr f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> restart_on_eintr f
+
+let run_fd t fd_in fd_out =
+  let chunk = Bytes.create 65536 in
+  let tail = Buffer.create 4096 in
+  let eof = ref false in
+  let out = Unix.out_channel_of_descr fd_out in
+  let read_once () =
+    let n = restart_on_eintr (fun () -> Unix.read fd_in chunk 0 (Bytes.length chunk)) in
+    if n = 0 then eof := true else Buffer.add_subbytes tail chunk 0 n
+  in
+  let readable_now () =
+    match restart_on_eintr (fun () -> Unix.select [ fd_in ] [] [] 0.0) with
+    | [ _ ], _, _ -> true
+    | _ -> false
+  in
+  (* complete lines out of [tail], the partial last line kept buffered *)
+  let split_lines () =
+    let s = Buffer.contents tail in
+    let rec go start acc =
+      match String.index_from_opt s start '\n' with
+      | None ->
+        Buffer.clear tail;
+        Buffer.add_substring tail s start (String.length s - start);
+        List.rev acc
+      | Some nl -> go (nl + 1) (String.sub s start (nl - start) :: acc)
+    in
+    go 0 []
+  in
+  while not (!eof || t.shutdown) do
+    (* block for input, then greedily take everything already available
+       — that burst is one admission/batching cycle *)
+    ignore (restart_on_eintr (fun () -> Unix.select [ fd_in ] [] [] (-1.0)));
+    read_once ();
+    while (not !eof) && readable_now () do
+      read_once ()
+    done;
+    let lines = split_lines () in
+    let lines =
+      if !eof && Buffer.length tail > 0 then begin
+        let last = Buffer.contents tail in
+        Buffer.clear tail;
+        lines @ [ last ]
+      end
+      else lines
+    in
+    let lines = List.filter (fun l -> String.trim l <> "") lines in
+    if lines <> [] then begin
+      List.iter (output_string out) (handle_lines t lines);
+      flush out
+    end
+  done;
+  flush out
+
+let serve_stdio t = run_fd t Unix.stdin Unix.stdout
+
+let listen_unix t ~path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 16;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      while not t.shutdown do
+        let client, _ = restart_on_eintr (fun () -> Unix.accept sock) in
+        (* a dying client must not kill the daemon *)
+        (try run_fd t client client
+         with Unix.Unix_error _ | Sys_error _ -> ());
+        try Unix.close client with Unix.Unix_error _ -> ()
+      done)

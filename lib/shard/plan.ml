@@ -209,6 +209,13 @@ let cache : (int * int * int, t) Hashtbl.t = Hashtbl.create 16
 let cache_order : (int * int * int) Queue.t = Queue.create ()
 let cache_limit = 16
 
+(* Process-wide hit/miss counters, same contract as
+   [Topology.cache_stats]: never reset by [clear_cache], surfaced by the
+   serving layer's stats report and the cache-coherence tests. *)
+let cache_hits = ref 0
+let cache_misses = ref 0
+let cache_stats () = (!cache_hits, !cache_misses)
+
 let clear_cache () =
   Hashtbl.reset cache;
   Queue.clear cache_order
@@ -217,8 +224,11 @@ let build_cached ~topo ~shards =
   let sg = topo.Topology.sg in
   let key = (Semi_graph.stamp sg, Semi_graph.generation sg, shards) in
   match Hashtbl.find_opt cache key with
-  | Some p when p.topo == topo -> (p, true)
+  | Some p when p.topo == topo ->
+    incr cache_hits;
+    (p, true)
   | _ ->
+    incr cache_misses;
     let p = build ~topo ~shards in
     if not (Hashtbl.mem cache key) then begin
       while Queue.length cache_order >= cache_limit do

@@ -83,6 +83,13 @@ val build_cached : topo:Tl_engine.Topology.t -> shards:int -> t * bool
 
 val clear_cache : unit -> unit
 
+val cache_stats : unit -> int * int
+(** [(hits, misses)] of {!build_cached} since process start — the same
+    contract as {!Tl_engine.Topology.cache_stats}: the counters are
+    never cleared by {!clear_cache}, so callers that need per-window
+    deltas (the serving layer's per-request cache report) subtract
+    snapshots. *)
+
 val n_shards : t -> int
 val cut_edges_total : t -> int
 

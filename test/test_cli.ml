@@ -99,6 +99,30 @@ let test_bad_engine_is_usage_error () =
   check_int "cmdliner usage error" 124 code;
   check "names the bad value" true (contains ~needle:"warp" stderr)
 
+(* Cross-argument knob validation: rejected before any work starts, with
+   a usage error naming the offending value — never an uncaught
+   exception from deep inside a run. *)
+let test_knob_validation_usage_errors () =
+  let usage args needle =
+    let code, _, stderr = run_cmd (Printf.sprintf "%s solve %s" cli args) in
+    check_int (args ^ " exits 124") 124 code;
+    check (args ^ " explains itself") true (contains ~needle stderr)
+  in
+  usage "--shards 0" "invalid shard count";
+  usage "--pool 0" "invalid pool size";
+  usage "--pool 100" "invalid pool size 100";
+  usage "--engine shard --shards 50 --n 20"
+    "shard count 50 exceeds the instance size n = 20";
+  usage "--engine shard:50 --n 20" "shard count 50 exceeds";
+  (* the same over-sharding is fine when the engine is not sharded *)
+  let code, stdout, _ =
+    run_cmd
+      (Printf.sprintf "%s solve --engine seq --shards 50 --n 20 --family path"
+         cli)
+  in
+  check_int "seq ignores the shard knob" 0 code;
+  check "solved" true (contains ~needle:"valid:       true" stdout)
+
 (* ---------- regress.exe ---------- *)
 
 let write_file path s =
@@ -204,6 +228,8 @@ let () =
             test_trace_unwritable_warns_not_fails;
           Alcotest.test_case "--engine bad value -> usage error" `Quick
             test_bad_engine_is_usage_error;
+          Alcotest.test_case "knob cross-validation -> usage errors" `Quick
+            test_knob_validation_usage_errors;
         ] );
       ( "regress",
         [

@@ -124,6 +124,82 @@ let prop_json_roundtrip =
       let s = Json.to_string v in
       Json.to_string (Json.parse s) = s)
 
+(* ---------- ndjson ---------- *)
+
+let test_ndjson_basics () =
+  let check = Alcotest.(check bool) in
+  (* to_line is exactly one line: compact value + newline *)
+  Alcotest.(check string)
+    "to_line" "{\"a\":1}\n"
+    (Json.to_line (Json.Obj [ ("a", Json.Num 1.) ]));
+  let r = Json.Ndjson.reader () in
+  Json.Ndjson.feed r "{\"a\":";
+  check "value incomplete" true (Json.Ndjson.next r = None);
+  Json.Ndjson.feed r "1}\r\n\n  \ntrue\n[1,";
+  check "first value" true
+    (Json.Ndjson.next r = Some (Json.Obj [ ("a", Json.Num 1.) ]));
+  check "blank lines skipped" true (Json.Ndjson.next r = Some (Json.Bool true));
+  check "partial tail buffered" true (Json.Ndjson.next r = None);
+  Alcotest.(check string) "pending" "[1," (Json.Ndjson.pending r);
+  Json.Ndjson.feed r "2]\n";
+  check "completed tail" true
+    (Json.Ndjson.next r = Some (Json.Arr [ Json.Num 1.; Json.Num 2. ]));
+  check "drained" true (Json.Ndjson.next r = None)
+
+let test_ndjson_parse_error () =
+  let r = Json.Ndjson.reader () in
+  Json.Ndjson.feed r "{oops}\n{\"ok\":true}\n";
+  (match Json.Ndjson.next r with
+  | exception Json.Parse_error _ -> ()
+  | _ -> Alcotest.fail "malformed line must raise Parse_error");
+  (* the bad line is consumed; the stream continues *)
+  Alcotest.(check bool)
+    "stream continues after error" true
+    (Json.Ndjson.next r = Some (Json.Obj [ ("ok", Json.Bool true) ]))
+
+let test_read_ndjson () =
+  Alcotest.(check bool)
+    "unterminated last line" true
+    (Json.read_ndjson "1\n2" = [ Json.Num 1.; Json.Num 2. ]);
+  Alcotest.(check bool) "empty" true (Json.read_ndjson "" = []);
+  Alcotest.(check bool) "blank" true (Json.read_ndjson " \n\t\n" = [])
+
+(* emit a stream of values with to_line, read it back value by value —
+   in one gulp and through arbitrary chunkings of the same bytes *)
+let prop_ndjson_roundtrip =
+  QCheck2.Test.make ~name:"ndjson stream round-trip" ~count:200
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 8) json_gen)
+        (small_list (int_range 1 7)))
+    (fun (vs, chunks) ->
+      let stream = String.concat "" (List.map Json.to_line vs) in
+      let expect = List.map Json.to_string vs in
+      let got_bulk = List.map Json.to_string (Json.read_ndjson stream) in
+      let r = Json.Ndjson.reader () in
+      let len = String.length stream in
+      let pos = ref 0 and sizes = ref chunks and got = ref [] in
+      while !pos < len do
+        let sz =
+          match !sizes with
+          | [] -> len - !pos
+          | s :: rest ->
+            sizes := rest;
+            min s (len - !pos)
+        in
+        Json.Ndjson.feed r ~pos:!pos ~len:sz stream;
+        pos := !pos + sz;
+        let rec drain () =
+          match Json.Ndjson.next r with
+          | None -> ()
+          | Some v ->
+            got := Json.to_string v :: !got;
+            drain ()
+        in
+        drain ()
+      done;
+      got_bulk = expect && List.rev !got = expect)
+
 (* ---------- Span ---------- *)
 
 let test_span_inactive_noops () =
@@ -350,6 +426,14 @@ let () =
             test_json_unicode_escapes;
           Alcotest.test_case "accessors" `Quick test_json_accessors;
           QCheck_alcotest.to_alcotest prop_json_roundtrip;
+        ] );
+      ( "ndjson",
+        [
+          Alcotest.test_case "incremental reader" `Quick test_ndjson_basics;
+          Alcotest.test_case "parse error recovery" `Quick
+            test_ndjson_parse_error;
+          Alcotest.test_case "read_ndjson" `Quick test_read_ndjson;
+          QCheck_alcotest.to_alcotest prop_ndjson_roundtrip;
         ] );
       ( "span",
         [
