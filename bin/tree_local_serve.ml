@@ -12,7 +12,8 @@ let socket_arg =
   let doc =
     "Listen on a Unix-domain socket at $(docv) (serving one connection \
      at a time) instead of stdin/stdout. A stale socket file at the \
-     path is replaced; the file is removed on shutdown."
+     path is replaced, but a path a running daemon answers on (or any \
+     non-socket file) is refused; the file is removed on shutdown."
   in
   Arg.(
     value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
@@ -77,9 +78,14 @@ let serve socket depth cache_slots max_n =
   let t = Server.create ~config () in
   match socket with
   | None -> Server.serve_stdio t
-  | Some path ->
+  | Some path -> (
     Printf.eprintf "tree-local-serve: listening on %s\n%!" path;
-    Server.listen_unix t ~path
+    (* a refused socket path (live daemon, non-socket file) is a usage
+       problem, not a crash: report it without a backtrace *)
+    try Server.listen_unix t ~path
+    with Failure msg ->
+      Printf.eprintf "tree-local-serve: %s\n%!" msg;
+      exit 1)
 
 let () =
   let doc =

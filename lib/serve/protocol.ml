@@ -5,6 +5,14 @@ module Engine = Tl_engine.Engine
 
 let version = 1
 
+(* FNV-1a, 64-bit: the digest primitive shared by the solution digests
+   below and the Edges spec key (which must fold every endpoint —
+   Hashtbl.hash only looks at a bounded prefix of a list). *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv_fold h x = Int64.mul (Int64.logxor h (Int64.of_int x)) fnv_prime
+
 (* ---------- requests ---------- *)
 
 type graph_spec =
@@ -15,8 +23,14 @@ let spec_key = function
   | Family { family; n; seed; a; delta } ->
     Printf.sprintf "family:%s:%d:%d:%d:%d" family n seed a delta
   | Edges { n; edges; seed } ->
-    (* explicit edge lists are hashed, not inlined, to keep keys short *)
-    Printf.sprintf "edges:%d:%d:%d" n seed (Hashtbl.hash edges)
+    (* explicit edge lists are digested, not inlined, to keep keys
+       short: FNV-1a over every endpoint plus the edge count, so lists
+       sharing a prefix (or a proper prefix of another) key apart *)
+    let h =
+      List.fold_left (fun h (u, v) -> fnv_fold (fnv_fold h u) v) fnv_offset
+        edges
+    in
+    Printf.sprintf "edges:%d:%d:%d:%016Lx" n seed (List.length edges) h
 
 let spec_n = function Family { n; _ } | Edges { n; _ } -> n
 
@@ -318,11 +332,6 @@ let response_of_json j =
   | _ -> Stdlib.Error "a response must be a JSON object"
 
 (* ---------- digests ---------- *)
-
-let fnv_offset = 0xcbf29ce484222325L
-let fnv_prime = 0x100000001b3L
-
-let fnv_fold h x = Int64.mul (Int64.logxor h (Int64.of_int x)) fnv_prime
 
 let digest_array f arr =
   Printf.sprintf "%016Lx"

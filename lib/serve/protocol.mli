@@ -56,7 +56,11 @@ type graph_spec =
 
 val spec_key : graph_spec -> string
 (** Canonical batching / instance-cache key: equal specs produce equal
-    keys, distinct specs distinct keys. *)
+    keys, distinct specs distinct keys. [Family] specs key on every
+    field verbatim; [Edges] specs key on [n], [seed], the edge count
+    and a 64-bit FNV-1a digest folded over {e every} endpoint (lists
+    differing anywhere — including past the bounded prefix
+    [Hashtbl.hash] would inspect — key apart). *)
 
 val spec_n : graph_spec -> int
 

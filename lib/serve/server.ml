@@ -293,11 +293,27 @@ let error_message = function
   | Invalid_argument msg -> msg
   | e -> Printexc.to_string e
 
+(* Raised by exec when a post-build admission check fails; answered as
+   a bad_request, not a generic failure. *)
+exception Inadmissible of string
+
 (* Execute one validated request under its knobs, inside a per-request
    span whose report (phases, round charges, engine child spans) goes
    back to the client on demand. *)
 let exec t (r : P.request) ~mode =
   let inst, cache_hit = instance t r.spec in
+  (* grid/planar/caterpillar build close to — not exactly — the spec's
+     n, so the shard bound admitted against the declared n must be
+     re-checked against the graph that was actually built *)
+  (match mode with
+  | Engine.Shard s when s > Graph.n_nodes inst.graph ->
+    raise
+      (Inadmissible
+         (Printf.sprintf
+            "shard count %d exceeds the built instance size %d (the spec's \
+             n = %d is approximate for this family)"
+            s (Graph.n_nodes inst.graph) (P.spec_n r.spec)))
+  | _ -> ());
   let (partial, traces), span =
     Span.run "serve:request" (fun () ->
         Span.set_attr "problem" r.problem;
@@ -324,24 +340,9 @@ let exec t (r : P.request) ~mode =
     span = (if r.want_span then Some (Report.to_json span) else None);
   }
 
-let handle_request t (r : P.request) =
-  t.stats.received <- t.stats.received + 1;
-  match validate t r with
-  | Error msg ->
-    t.stats.errors <- t.stats.errors + 1;
-    { P.rid = r.id; outcome = P.Error (P.Bad_request, msg) }
-  | Ok mode -> (
-    match exec t r ~mode with
-    | solved ->
-      t.stats.served <- t.stats.served + 1;
-      { P.rid = r.id; outcome = P.Solved solved }
-    | exception e ->
-      t.stats.errors <- t.stats.errors + 1;
-      { P.rid = r.id; outcome = P.Error (P.Failed, error_message e) })
-
-(* Like handle_request but for already-admitted jobs: the request was
+(* Validate and execute an already-admitted job (the request was
    validated at admission, so a validation error here is impossible in
-   practice — still handled, for safety. *)
+   practice — still handled, for safety). Never raises. *)
 let exec_admitted t (r : P.request) =
   match validate t r with
   | Error msg ->
@@ -352,9 +353,16 @@ let exec_admitted t (r : P.request) =
     | solved ->
       t.stats.served <- t.stats.served + 1;
       { P.rid = r.id; outcome = P.Solved solved }
+    | exception Inadmissible msg ->
+      t.stats.errors <- t.stats.errors + 1;
+      { P.rid = r.id; outcome = P.Error (P.Bad_request, msg) }
     | exception e ->
       t.stats.errors <- t.stats.errors + 1;
       { P.rid = r.id; outcome = P.Error (P.Failed, error_message e) })
+
+let handle_request t (r : P.request) =
+  t.stats.received <- t.stats.received + 1;
+  exec_admitted t r
 
 (* ---------- the admission / batching / drain cycle ---------- *)
 
@@ -497,8 +505,37 @@ let run_fd t fd_in fd_out =
 
 let serve_stdio t = run_fd t Unix.stdin Unix.stdout
 
+(* Only replace what is provably a stale socket file: probing with a
+   connect distinguishes an abandoned socket (ECONNREFUSED) from a live
+   daemon, which must not have its socket unlinked out from under it. *)
+let claim_socket_path path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_SOCK; _ } ->
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      Fun.protect
+        ~finally:(fun () ->
+          try Unix.close probe with Unix.Unix_error _ -> ())
+        (fun () ->
+          match Unix.connect probe (Unix.ADDR_UNIX path) with
+          | () -> true
+          | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> false)
+    in
+    if live then
+      failwith
+        (Printf.sprintf
+           "socket %s is in use by a running daemon (shut it down or pick \
+            another --socket path)"
+           path)
+    else Unix.unlink path
+  | _ ->
+    failwith
+      (Printf.sprintf
+         "refusing to replace %s: it exists and is not a socket" path)
+
 let listen_unix t ~path =
-  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  claim_socket_path path;
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind sock (Unix.ADDR_UNIX path);
   Unix.listen sock 16;

@@ -79,7 +79,10 @@ val serve_stdio : t -> unit
 (** [run_fd] over stdin/stdout — the pipe-friendly daemon mode. *)
 
 val listen_unix : t -> path:string -> unit
-(** Bind a Unix-domain socket at [path] (replacing a stale socket file),
-    then accept and serve one connection at a time until some client
-    sends [shutdown]. The socket file is removed on exit. A client
-    error/disconnect never kills the daemon. *)
+(** Bind a Unix-domain socket at [path], then accept and serve one
+    connection at a time until some client sends [shutdown]. The socket
+    file is removed on exit. A client error/disconnect never kills the
+    daemon. An existing file at [path] is probed with a connect: only a
+    provably stale socket (nothing accepting) is replaced — raises
+    [Failure] if a live daemon answers there, or if the path holds a
+    non-socket file. *)

@@ -115,6 +115,22 @@ let test_response_roundtrip () =
       | Error msg -> Alcotest.fail ("response did not parse: " ^ msg))
     cases
 
+(* Edge-list spec keys digest every endpoint: lists that agree on a
+   long prefix (where Hashtbl.hash stops looking) still key apart, so
+   the instance cache and the batcher never conflate them. *)
+let test_spec_key_edges () =
+  let path_edges n = List.init (n - 1) (fun i -> (i, i + 1)) in
+  let key edges = P.spec_key (P.Edges { n = 40; edges; seed = 1 }) in
+  let e1 = path_edges 40 in
+  let e2 = List.mapi (fun i e -> if i = 38 then (0, 39) else e) e1 in
+  check "equal lists, equal keys" true (key e1 = key (path_edges 40));
+  check "shared prefix, distinct keys" false (key e1 = key e2);
+  (* a proper prefix keys apart too: the edge count is part of the key *)
+  let prefix = List.filteri (fun i _ -> i < 38) e1 in
+  check "proper prefix, distinct keys" false (key e1 = key prefix);
+  check "seed is part of the key" false
+    (key e1 = P.spec_key (P.Edges { n = 40; edges = e1; seed = 2 }))
+
 (* ---------- knob validation ---------- *)
 
 let test_resolve_knobs () =
@@ -454,6 +470,36 @@ let test_span_report_on_request () =
     check "serve:cache_hit counter in the span" true
       (List.assoc_opt "serve:cache_hit" counters = Some (Json.Num 1.))
 
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* grid builds floor(sqrt n)^2 nodes, so a shard count can clear
+   admission against the declared n yet exceed the built graph — that
+   must still be a structured bad_request, not a generic failure. *)
+let test_shard_vs_built_n () =
+  let server = Server.create () in
+  let spec = P.Family { family = "grid"; n = 10; seed = 1; a = 1; delta = 3 } in
+  (match
+     Server.handle_request server
+       (P.request ~id:"g" ~problem:"flood" ~spec ~engine:"shard:10"
+          ~shards:10 ~want_span:false ())
+   with
+  | { P.outcome = P.Error (P.Bad_request, msg); _ } ->
+    check "names the built size" true
+      (contains_sub msg "built instance size 9")
+  | { P.outcome = P.Error (_, msg); _ } ->
+    Alcotest.fail ("wrong error kind: " ^ msg)
+  | _ -> Alcotest.fail "oversized shard count must be rejected");
+  match
+    Server.handle_request server
+      (P.request ~id:"g2" ~problem:"flood" ~spec ~engine:"shard:4" ~shards:4
+         ~want_span:false ())
+  with
+  | { P.outcome = P.Solved _; _ } -> ()
+  | _ -> Alcotest.fail "in-bounds shard request failed"
+
 let test_instance_cache_eviction () =
   let server =
     Server.create
@@ -553,6 +599,87 @@ let test_subprocess_backpressure () =
       flush out;
       ignore (input_line inc))
 
+(* Socket-path claiming: a stale socket file is replaced, a path a
+   running daemon answers on is refused without unlinking it, and a
+   non-socket file is never touched. *)
+
+let connect_probe path =
+  let s = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close s with Unix.Unix_error _ -> ())
+    (fun () ->
+      match Unix.connect s (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error _ -> false)
+
+let wait_for_socket path =
+  let rec go tries =
+    if tries = 0 then Alcotest.fail "daemon never came up on its socket"
+    else if not (connect_probe path) then begin
+      Unix.sleepf 0.02;
+      go (tries - 1)
+    end
+  in
+  go 250
+
+let spawn_socket_daemon path =
+  let dev_null = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+  let pid =
+    Unix.create_process daemon
+      [| daemon; "--socket"; path |]
+      dev_null dev_null dev_null
+  in
+  Unix.close dev_null;
+  pid
+
+let test_socket_path_claiming () =
+  (* a regular file at the path is refused and left alone *)
+  let file = Filename.temp_file "tl_serve_not_a_socket" "" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      let rc =
+        Sys.command
+          (Printf.sprintf "%s --socket %s 2>/dev/null" daemon
+             (Filename.quote file))
+      in
+      check "non-socket path refused" true (rc <> 0);
+      check "non-socket file untouched" true (Sys.file_exists file));
+  let path = Filename.temp_file "tl_serve" ".sock" in
+  Unix.unlink path;
+  (* leave a stale socket behind: bound once, nobody accepting *)
+  let stale = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind stale (Unix.ADDR_UNIX path);
+  Unix.close stale;
+  let pid = spawn_socket_daemon path in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* the daemon replaced the stale socket and accepts *)
+      wait_for_socket path;
+      (* a second daemon on the live path refuses, promptly *)
+      let rc =
+        Sys.command
+          (Printf.sprintf "%s --socket %s 2>/dev/null" daemon
+             (Filename.quote path))
+      in
+      check "second daemon refused" true (rc <> 0);
+      (* ... and did not unlink the live daemon's socket: it still answers *)
+      let s = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect s (Unix.ADDR_UNIX path);
+      let ic = Unix.in_channel_of_descr s
+      and oc = Unix.out_channel_of_descr s in
+      output_string oc "{\"v\":1,\"id\":\"bye\",\"cmd\":\"shutdown\"}\n";
+      flush oc;
+      let r = parse_resp (input_line ic) in
+      check "live daemon still answers" true (r.P.outcome = P.Pong);
+      (try Unix.close s with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+      check "socket removed on shutdown" false (Sys.file_exists path))
+
 let () =
   Alcotest.run "tl_serve"
     [
@@ -563,6 +690,7 @@ let () =
             test_request_roundtrip;
           Alcotest.test_case "response round-trip" `Quick
             test_response_roundtrip;
+          Alcotest.test_case "edge-list spec keys" `Quick test_spec_key_edges;
           Alcotest.test_case "knob validation" `Quick test_resolve_knobs;
         ] );
       ("differential", qsuite [ prop_serve_differential ]);
@@ -576,6 +704,8 @@ let () =
             test_cycle_errors_and_controls;
           Alcotest.test_case "per-request span report" `Quick
             test_span_report_on_request;
+          Alcotest.test_case "shard bound on the built graph" `Quick
+            test_shard_vs_built_n;
           Alcotest.test_case "instance cache eviction" `Quick
             test_instance_cache_eviction;
         ] );
@@ -585,5 +715,7 @@ let () =
             test_subprocess_roundtrip;
           Alcotest.test_case "burst backpressure" `Quick
             test_subprocess_backpressure;
+          Alcotest.test_case "socket-path claiming" `Quick
+            test_socket_path_claiming;
         ] );
     ]
