@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: build test bench bench-full bench-smoke serve-smoke clean
+.PHONY: build test bench bench-full bench-smoke serve-smoke metrics-smoke clean
 
 build:
 	dune build
@@ -8,11 +8,11 @@ build:
 test:
 	dune runtest
 
-# Full experiment regeneration (slow: every table E1-E14, A, B, B6-B9).
+# Full experiment regeneration (slow: every table E1-E14, A, B, B6-B10).
 bench:
 	dune exec bench/main.exe
 
-EXPERIMENTS = E1-E3 E4-E5 E6 E7 E8 E9 E10 E11 E12 E13 E14 A B B6 B7 B8 B9
+EXPERIMENTS = E1-E3 E4-E5 E6 E7 E8 E9 E10 E11 E12 E13 E14 A B B6 B7 B8 B9 B10
 
 # Regenerate every committed bench artifact (BENCH_*.json, bench_csv/ +
 # MANIFEST.csv, bench_output.txt), one process per experiment.  The
@@ -39,6 +39,7 @@ bench-smoke:
 	TL_ENGINE_BENCH_N=2000 TL_ENGINE_BENCH_KERNELS=cv3 dune exec bench/main.exe -- B6
 	TL_POOL_BENCH_N=2000 dune exec bench/main.exe -- B7
 	TL_SHARD_BENCH_N=2000 dune exec bench/main.exe -- B8
+	TL_METRICS_BENCH_N=20000 dune exec bench/main.exe -- B10
 	dune exec bench/regress.exe -- --tolerance 5.0 bench-baseline.json BENCH_engine.json
 	cp BENCH_serve.json serve-baseline.json
 	TL_SERVE_BENCH_N=2000 TL_SERVE_BENCH_R=20 dune exec bench/main.exe -- B9
@@ -56,6 +57,21 @@ serve-smoke:
 	test "$$(grep -oE 'digest=[0-9a-f]+' serve_smoke.out | head -2 | sort -u | wc -l)" -eq 1
 	grep -q "cache_hit=true" serve_smoke.out
 	rm -f serve_smoke.out
+
+# Live-metrics smoke: the example client spawns the real daemon over
+# pipes, fires a burst of solves, then scrapes the registry through the
+# `metrics` control. The PASS lines it prints assert the core
+# invariants: serve_request_seconds histogram count == serve_served_total
+# (one observation per served request, no more, no less), the prom
+# rendering is well-formed line-by-line, and the flight recorder's tail
+# covers the burst.
+metrics-smoke:
+	dune build bin/tree_local_serve.exe examples/metrics_smoke.exe
+	dune exec examples/metrics_smoke.exe | tee metrics_smoke.out
+	grep -q "PASS histogram count == served counter" metrics_smoke.out
+	grep -q "PASS prometheus exposition well-formed" metrics_smoke.out
+	test "$$(grep -c FAIL metrics_smoke.out)" -eq 0
+	rm -f metrics_smoke.out
 
 clean:
 	dune clean

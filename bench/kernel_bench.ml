@@ -726,6 +726,115 @@ let run_shard () =
   Printf.printf "merged %d shard kernels into BENCH_engine.json\n"
     (List.length kernels)
 
+(* ---------- B10: tl_metrics overhead (merges into BENCH_engine.json) ----------
+
+   Measures what the live metrics registry costs on the hottest loop we
+   have: the flood kernel under the active-set engine, once with the
+   registry disabled (the one-shot CLI default — engine/pool hooks
+   uninstalled, every shard-layer guard a single relaxed Atomic read)
+   and once with Tl_obs.Metrics.enable () installed, which also turns on
+   per-run trace collection feeding the engine_* counters and the
+   engine_run_seconds histogram. Both best-of-reps wall clocks merge
+   into BENCH_engine.json as kernel "metrics-overhead" (modes
+   "metrics-off" / "metrics-on"), so bench/regress.exe gates the
+   instrumentation cost like any other kernel; the acceptance bar —
+   metrics-on within 3% of metrics-off — is printed as its own check
+   (with the regress absolute floor for smoke-sized runs). Size is
+   overridable via TL_METRICS_BENCH_N (CI smoke). *)
+
+module Metrics = Tl_obs.Metrics
+
+let metrics_bench_n () =
+  match Option.bind (Sys.getenv_opt "TL_METRICS_BENCH_N") int_of_string_opt with
+  | Some n when n > 1 -> n
+  | _ -> 1_000_000
+
+let run_metrics () =
+  let n = metrics_bench_n () in
+  let seed = 71 in
+  Util.heading
+    (Printf.sprintf
+       "B10: tl_metrics overhead — flood, registry off vs on (n=%d)" n);
+  let tree = Gen.random_tree ~n ~seed in
+  let sg = Semi_graph.of_graph tree in
+  let topo = Topology.compile sg in
+  let flood () =
+    let o =
+      Engine.run_until_stable ~mode:Engine.Seq ~topo
+        ~init:(fun v -> v = 0)
+        ~step:(fun ~round:_ ~node:_ s ~neighbors ->
+          s || List.exists (fun (_, _, su) -> su) neighbors)
+        ~equal:Bool.equal ~max_rounds:(n + 1) ()
+    in
+    (o.Engine.states, o.Engine.rounds)
+  in
+  let reps = if n >= 500_000 then 3 else 5 in
+  let best f =
+    let best = ref infinity and result = ref None in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      result := Some r
+    done;
+    (Option.get !result, !best)
+  in
+  Metrics.disable ();
+  let off_r, off_t = best flood in
+  Metrics.enable ();
+  Metrics.reset ();
+  let on_r, on_t = best flood in
+  let runs_seen = Metrics.counter_value (Metrics.counter "engine_runs_total") in
+  let steps_seen =
+    Metrics.counter_value (Metrics.counter "engine_steps_total")
+  in
+  Metrics.disable ();
+  let identical = off_r = on_r in
+  let overhead_pct =
+    if off_t > 0. then 100. *. ((on_t -. off_t) /. off_t) else 0.
+  in
+  Util.table
+    ~header:[ "mode"; "rounds"; "wall s"; "identical" ]
+    [
+      [ "metrics-off"; Util.i (snd off_r); Printf.sprintf "%.4f" off_t; "-" ];
+      [
+        "metrics-on"; Util.i (snd on_r); Printf.sprintf "%.4f" on_t;
+        Util.pass_fail identical;
+      ];
+    ];
+  Printf.printf "\nengine counters while enabled: runs=%d steps=%d (%s)\n"
+    runs_seen steps_seen
+    (Util.pass_fail (runs_seen = reps && steps_seen > 0));
+  Printf.printf "metrics-on within 3%% of metrics-off: %s (%+.2f%%)\n"
+    (Util.pass_fail (on_t <= off_t *. 1.03 || on_t <= off_t +. 0.005))
+    overhead_pct;
+  merge_into_engine_json ~file:"BENCH_engine.json"
+    [
+      Json.Obj
+        [
+          ("kernel", Json.Str "metrics-overhead");
+          ("n", Json.Num (float_of_int n));
+          ("deterministic", Json.Bool identical);
+          ( "modes",
+            Json.Arr
+              (List.map
+                 (fun (mode, t, rounds) ->
+                   Json.Obj
+                     [
+                       ("mode", Json.Str mode);
+                       ("domains", Json.Num 1.);
+                       ("wall_s", Json.Num t);
+                       ("rounds", Json.Num (float_of_int rounds));
+                     ])
+                 [
+                   ("metrics-off", off_t, snd off_r);
+                   ("metrics-on", on_t, snd on_r);
+                 ]) );
+        ];
+    ];
+  Printf.printf "merged metrics-overhead into BENCH_engine.json\n"
+
 let run () =
   Util.heading "B1-B5: kernel wall-clock microbenchmarks (Bechamel)";
   let cfg =

@@ -28,6 +28,7 @@ let experiments =
     ("B7", "component-solve pool: sequential vs pooled Theorem 12/15", Kernel_bench.run_pool);
     ("B8", "sharded halo-exchange backend: seq vs shard:{2,4,8}", Kernel_bench.run_shard);
     ("B9", "serving daemon: closed-loop latency, cold vs warm cache", Serve_bench.run);
+    ("B10", "tl_metrics overhead: flood with registry off vs on", Kernel_bench.run_metrics);
   ]
 
 (* GC parameters as of process start.  The bechamel microbenches

@@ -11,7 +11,13 @@
      its compiled topology and — in shard mode — its plan are reused).
 
    The per-request latencies aggregate to p50/p99 per phase plus a
-   requests/sec figure; warm must show cache hits and identical digests
+   requests/sec figure. The aggregation goes through a Tl_obs.Metrics
+   histogram rather than a sorted-array percentile: each latency is
+   observed into a fresh log-bucketed histogram and the quantiles are
+   read from its snapshot — the same machinery (and the same <= 2^(1/4)
+   bucket-boundary overestimate, see EXPERIMENTS.md) that the daemon's
+   live `metrics` control exposes, so offline and live numbers agree by
+   construction. Warm must show cache hits and identical digests
    (served results are deterministic, cached or not). Measurements land
    in BENCH_serve.json in the same kernels/modes/wall_s schema as
    BENCH_engine.json, so bench/regress.exe gates them unchanged.
@@ -19,6 +25,7 @@
    and TL_SERVE_BENCH_R (CI smoke). *)
 
 module Json = Tl_obs.Json
+module Metrics = Tl_obs.Metrics
 module P = Tl_serve.Protocol
 
 let bench_n () =
@@ -56,17 +63,23 @@ let roundtrip inc out req =
   | Ok _ -> failwith "B9: unexpected response kind"
   | Error msg -> failwith ("B9: bad response: " ^ msg)
 
-let percentile sorted p =
-  let len = Array.length sorted in
-  sorted.(min (len - 1) (int_of_float (p *. float_of_int (len - 1) +. 0.5)))
-
-let summarize lats =
-  let a = Array.of_list lats in
-  Array.sort compare a;
-  let total = Array.fold_left ( +. ) 0. a in
-  ( percentile a 0.50,
-    percentile a 0.99,
-    if total > 0. then float_of_int (Array.length a) /. total else 0. )
+(* Aggregate one phase's latencies through a tl_metrics histogram: a
+   labeled histogram per (problem, phase) keeps registrations distinct,
+   and p50/p99 come from Metrics.quantile over its snapshot. rps is
+   count/sum — both read back from the same snapshot the quantiles use. *)
+let summarize ~problem ~phase lats =
+  let h =
+    Metrics.histogram
+      ~labels:[ ("problem", problem); ("phase", phase) ]
+      "serve_bench_request_seconds"
+  in
+  List.iter (Metrics.observe h) lats;
+  let s = Metrics.histogram_snapshot h in
+  ( Metrics.quantile s 0.50,
+    Metrics.quantile s 0.99,
+    if s.Metrics.h_sum > 0. then
+      float_of_int s.Metrics.h_count /. s.Metrics.h_sum
+    else 0. )
 
 (* drive one problem through both phases over a fresh daemon *)
 let drive ~problem ~n ~r =
@@ -98,7 +111,9 @@ let drive ~problem ~n ~r =
       if !hits = 0 then failwith "B9: warm phase saw no cache hits";
       output_string out (Json.to_line (P.control_to_json ~id:"bye" P.Shutdown));
       flush out;
-      (summarize !cold, summarize !warm, !hits))
+      ( summarize ~problem ~phase:"cold" !cold,
+        summarize ~problem ~phase:"warm" !warm,
+        !hits ))
 
 let emit_json ~file ~n ~r rows =
   let b = Buffer.create 1024 in

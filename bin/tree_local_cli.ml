@@ -128,6 +128,34 @@ let trace_arg =
 
 let collected_traces : Trace.t list ref = ref []
 
+(* ---------- unified exit flush ----------
+
+   --trace and --profile both write at process exit (so their outputs
+   survive the [exit 1] of a failed validity check). They used to each
+   register their own [at_exit] callback; a crash inside one writer
+   could then truncate or interleave the other's output depending on
+   registration order. Instead, one [at_exit] runs every registered
+   flusher in a fixed order — most recently registered first, matching
+   the old LIFO at_exit behavior — each behind its own exception guard:
+   a flusher that raises is reported and the remaining flushers still
+   run to completion. *)
+let exit_flushers : (string * (unit -> unit)) list ref = ref []
+let exit_flush_installed = ref false
+
+let at_exit_flush name f =
+  exit_flushers := (name, f) :: !exit_flushers;
+  if not !exit_flush_installed then begin
+    exit_flush_installed := true;
+    at_exit (fun () ->
+        List.iter
+          (fun (name, f) ->
+            try f ()
+            with e ->
+              Printf.eprintf "%s: exit flush failed (%s)\n" name
+                (Printexc.to_string e))
+          !exit_flushers)
+  end
+
 let setup_engine mode trace_file =
   Engine.default_mode := mode;
   match trace_file with
@@ -136,7 +164,7 @@ let setup_engine mode trace_file =
     Engine.trace_sink :=
       Some (fun t -> collected_traces := t :: !collected_traces);
     (* write on exit so traces survive the [exit 1] of a failed report *)
-    at_exit (fun () ->
+    at_exit_flush "trace" (fun () ->
         let ts = List.rev !collected_traces in
         match Trace.write_json ~file ts with
         | () ->
@@ -182,13 +210,14 @@ let report_fmt_arg =
     & opt (some (enum [ ("tree", `Tree); ("json", `Json); ("csv", `Csv) ])) None
     & info [ "report" ] ~docv:"FMT" ~doc)
 
-(* The report is finished and written from at_exit so it survives the
-   [exit 1] of a failed validity check, mirroring --trace. *)
+(* The report is finished and written through the unified exit flush so
+   it survives the [exit 1] of a failed validity check, mirroring
+   --trace (and cannot interleave with it). *)
 let setup_profile profile report_fmt =
   if profile <> None || report_fmt <> None then begin
     let root = Span.create "solve" in
     Span.install_root root;
-    at_exit (fun () ->
+    at_exit_flush "profile" (fun () ->
         Span.finish root;
         (match report_fmt with
         | None -> ()
@@ -486,7 +515,8 @@ let socket_arg =
 let cmd_arg =
   let doc =
     "Send a control message instead of a solve request: $(b,ping), \
-     $(b,stats) or $(b,shutdown)."
+     $(b,stats), $(b,metrics) (live registry snapshot), $(b,tail) \
+     (flight-recorder events) or $(b,shutdown)."
   in
   let module P = Tl_serve.Protocol in
   Arg.(
@@ -494,9 +524,21 @@ let cmd_arg =
     & opt
         (some
            (enum
-              [ ("ping", P.Ping); ("stats", P.Stats); ("shutdown", P.Shutdown) ]))
+              [ ("ping", P.Ping); ("stats", P.Stats); ("metrics", P.Metrics);
+                ("tail", P.Tail); ("shutdown", P.Shutdown) ]))
         None
     & info [ "cmd" ] ~docv:"CMD" ~doc)
+
+let format_arg =
+  let doc =
+    "Rendering for $(b,--cmd metrics): $(b,json) prints the daemon's \
+     response line verbatim, $(b,prom) re-renders the snapshot as \
+     Prometheus text exposition."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("json", `Json); ("prom", `Prom) ]) `Json
+    & info [ "format" ] ~docv:"FMT" ~doc)
 
 let span_arg =
   let doc = "Ask the daemon for the per-request span report." in
@@ -506,10 +548,11 @@ let span_arg =
    the daemon's response line, exit 0 on ok:true / 1 on an error
    outcome. The connection is closed after the response, so the daemon
    (one connection at a time) is immediately free for the next client. *)
-let client socket cmd problem method_ family n seed a delta k engine shards
-    pool span =
+let client socket cmd format problem method_ family n seed a delta k engine
+    shards pool span =
   let module P = Tl_serve.Protocol in
   let module Json = Tl_obs.Json in
+  let module Metrics = Tl_obs.Metrics in
   let req =
     match cmd with
     | Some c -> P.control_to_json ~id:"cli" c
@@ -535,12 +578,24 @@ let client socket cmd problem method_ family n seed a delta k engine shards
       Printf.eprintf "client: daemon closed the connection\n";
       exit 1
     | line ->
-      print_endline line;
-      let ok =
+      let parsed =
         match P.response_of_json (Json.parse line) with
-        | Ok { P.outcome = P.Error _; _ } -> false
-        | Ok _ -> true
-        | Error _ | (exception Json.Parse_error _) -> false
+        | Ok r -> Some r
+        | Error _ | (exception Json.Parse_error _) -> None
+      in
+      (match (format, parsed) with
+      | `Prom, Some { P.outcome = P.Metrics_report snap; _ } -> (
+        match Metrics.snapshot_of_json snap with
+        | Ok s -> print_string (Metrics.to_prometheus s)
+        | Error msg ->
+          print_endline line;
+          Printf.eprintf "client: cannot render prometheus text (%s)\n" msg)
+      | _ -> print_endline line);
+      let ok =
+        match parsed with
+        | Some { P.outcome = P.Error _; _ } -> false
+        | Some _ -> true
+        | None -> false
       in
       Unix.close fd;
       if not ok then exit 1)
@@ -549,9 +604,9 @@ let client_cmd =
   let doc = "Send one request to a running tree-local-serve daemon." in
   Cmd.v (Cmd.info "client" ~doc)
     Term.(
-      const client $ socket_arg $ cmd_arg $ problem_arg $ method_arg
-      $ family_arg $ n_arg $ seed_arg $ a_arg $ delta_arg $ k_arg $ engine_arg
-      $ shards_arg $ pool_arg $ span_arg)
+      const client $ socket_arg $ cmd_arg $ format_arg $ problem_arg
+      $ method_arg $ family_arg $ n_arg $ seed_arg $ a_arg $ delta_arg $ k_arg
+      $ engine_arg $ shards_arg $ pool_arg $ span_arg)
 
 (* ---------- main ---------- *)
 

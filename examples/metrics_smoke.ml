@@ -1,0 +1,156 @@
+(* Live-metrics smoke: scrape the daemon's registry over the wire.
+
+   Run with:  dune exec examples/metrics_smoke.exe   (or `make metrics-smoke`)
+
+   Spawns tree-local-serve in stdio mode, fires a burst of solve
+   requests (cold and warm), then exercises the two observability
+   controls:
+
+   - `metrics` returns the tl_metrics = 1 registry snapshot; we decode
+     it with Tl_obs.Metrics.snapshot_of_json and check the core
+     accounting invariant — the serve_request_seconds histogram holds
+     exactly one observation per served request, so its count must
+     equal the serve_served_total counter (which must equal the burst
+     size);
+   - the same snapshot re-renders as Prometheus text exposition
+     (what `tree-local client --cmd metrics --format prom` prints) and
+     every line must be well-formed: a `# TYPE` comment or a
+     `name{labels} value` sample;
+   - `tail` returns the flight recorder's recent events; every request
+     in the burst must appear.
+
+   Each check prints a PASS/FAIL line — `make metrics-smoke` greps for
+   the PASS lines and for the absence of FAIL. *)
+
+module Json = Tl_obs.Json
+module Metrics = Tl_obs.Metrics
+module P = Tl_serve.Protocol
+
+let daemon_path () =
+  let candidates =
+    [
+      Filename.concat
+        (Filename.dirname Sys.executable_name)
+        "../bin/tree_local_serve.exe";
+      "_build/default/bin/tree_local_serve.exe";
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> failwith "tree_local_serve.exe not found; run `dune build` first"
+
+let check name ok =
+  Printf.printf "%s %s\n" (if ok then "PASS" else "FAIL") name;
+  ok
+
+let spec ~seed = P.Family { family = "random-tree"; n = 2000; seed; a = 1; delta = 8 }
+
+let burst = 6
+
+let requests =
+  List.init burst (fun i ->
+      (* three distinct seeds then three repeats: cold misses + warm hits *)
+      P.request_to_json
+        (P.request
+           ~id:(Printf.sprintf "r%d" i)
+           ~problem:"mis"
+           ~spec:(spec ~seed:(1 + (i mod 3)))
+           ~want_span:false ()))
+  @ [
+      P.control_to_json ~id:"m" P.Metrics;
+      P.control_to_json ~id:"t" P.Tail;
+      P.control_to_json ~id:"bye" P.Shutdown;
+    ]
+
+(* One Prometheus text-exposition line: a `# TYPE name kind` comment or
+   a `name[{labels}] value` sample with a metric-identifier name and a
+   float-parseable value. *)
+let prom_line_ok line =
+  let ident_ok s =
+    s <> ""
+    && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+    && String.for_all
+         (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+         s
+  in
+  if line = "" then true
+  else if line.[0] = '#' then
+    match String.split_on_char ' ' line with
+    | "#" :: "TYPE" :: name :: [ kind ] ->
+      ident_ok name && List.mem kind [ "counter"; "gauge"; "histogram" ]
+    | _ -> false
+  else
+    match String.rindex_opt line ' ' with
+    | None -> false
+    | Some i ->
+      let series = String.sub line 0 i in
+      let value = String.sub line (i + 1) (String.length line - i - 1) in
+      let name =
+        match String.index_opt series '{' with
+        | Some b ->
+          if series.[String.length series - 1] = '}' then String.sub series 0 b
+          else ""
+        | None -> series
+      in
+      ident_ok name && Option.is_some (float_of_string_opt value)
+
+let () =
+  let daemon = daemon_path () in
+  Printf.printf "spawning %s\n" daemon;
+  let inc, out = Unix.open_process daemon in
+  List.iter (fun j -> output_string out (Json.to_line j)) requests;
+  flush out;
+  let served = ref 0
+  and snapshot = ref None
+  and tail_events = ref [] in
+  (try
+     while true do
+       match P.response_of_json (Json.parse (input_line inc)) with
+       | Ok { P.outcome = P.Solved _; _ } -> incr served
+       | Ok { P.outcome = P.Metrics_report j; _ } -> (
+         match Metrics.snapshot_of_json j with
+         | Ok s -> snapshot := Some s
+         | Error msg -> Printf.printf "FAIL snapshot decode: %s\n" msg)
+       | Ok { P.outcome = P.Tail_report js; _ } ->
+         tail_events := List.filter_map Metrics.Recorder.event_of_json js
+       | Ok { P.outcome = P.Pong; _ } -> ()
+       | Ok { P.outcome = P.Stats_report _; _ } -> ()
+       | Ok { P.outcome = P.Error (_, msg); _ } ->
+         Printf.printf "FAIL request errored: %s\n" msg
+       | Error msg -> Printf.printf "FAIL bad response line: %s\n" msg
+     done
+   with End_of_file -> ());
+  let all_ok = ref (check (Printf.sprintf "all %d requests served" burst) (!served = burst)) in
+  let guard ok = all_ok := ok && !all_ok in
+  (match !snapshot with
+  | None -> guard (check "metrics control returned a snapshot" false)
+  | Some s ->
+    let served_ctr = List.assoc_opt "serve_served_total" s.Metrics.counters in
+    let latency = List.assoc_opt "serve_request_seconds" s.Metrics.histograms in
+    (match (served_ctr, latency) with
+    | Some c, Some h ->
+      Printf.printf "  serve_served_total=%d latency_count=%d latency_sum=%.6fs\n"
+        c h.Metrics.h_count h.Metrics.h_sum;
+      guard (check "histogram count == served counter" (h.Metrics.h_count = c && c = burst))
+    | _ ->
+      guard (check "histogram count == served counter" false));
+    let prom = Metrics.to_prometheus s in
+    let lines = String.split_on_char '\n' prom in
+    let bad = List.filter (fun l -> not (prom_line_ok l)) lines in
+    List.iter (Printf.printf "  bad prom line: %S\n") bad;
+    guard
+      (check "prometheus exposition well-formed"
+         (bad = [] && List.exists (fun l -> l <> "" && l.[0] <> '#') lines)));
+  let req_events =
+    List.filter (fun e -> e.Metrics.Recorder.kind = "request") !tail_events
+  in
+  guard
+    (check "flight recorder covers the burst"
+       (List.length req_events >= burst
+       && List.for_all
+            (fun e -> e.Metrics.Recorder.outcome = "ok")
+            req_events));
+  (match Unix.close_process (inc, out) with
+  | Unix.WEXITED 0 -> print_endline "daemon exited cleanly"
+  | _ -> guard (check "daemon exited cleanly" false));
+  if not !all_ok then exit 1

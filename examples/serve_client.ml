@@ -63,6 +63,12 @@ let describe line =
           | None -> ())
         [ "received"; "served"; "serve:cache_hit"; "topo:cache_hit" ];
       print_newline ()
+    | P.Metrics_report _ ->
+      Printf.printf "  %-8s metrics snapshot (see examples/metrics_smoke.ml)\n"
+        rid
+    | P.Tail_report events ->
+      Printf.printf "  %-8s flight-recorder tail: %d event(s)\n" rid
+        (List.length events)
     | P.Error (kind, msg) ->
       Printf.printf "  %-8s error (%s): %s\n" rid
         (match kind with

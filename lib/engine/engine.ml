@@ -39,6 +39,12 @@ let sched_to_string = function
 let default_mode = ref Seq
 let trace_sink : (Trace.t -> unit) option ref = ref None
 
+(* Second per-run delivery hook, owned by Tl_obs.Metrics (which sits
+   above this library in the DAG and cannot be called directly from
+   here). Kept separate from [trace_sink] so the CLI's --trace and the
+   metrics registry can coexist without chaining through each other. *)
+let metrics_sink : (Trace.t -> unit) option ref = ref None
+
 type 'state outcome = { states : 'state array; rounds : int }
 
 type 'state step_fn =
@@ -102,10 +108,12 @@ let now = Unix.gettimeofday
 
 let begin_trace ?trace ~label ~mode ~sched ~compile_s ~compile_cached topo =
   let t =
-    match (trace, !trace_sink) with
-    | Some t, _ -> Some t
-    | None, Some _ -> Some (Trace.create ~label ())
-    | None, None -> None
+    match trace with
+    | Some t -> Some t
+    | None ->
+      if !trace_sink <> None || !metrics_sink <> None then
+        Some (Trace.create ~label ())
+      else None
   in
   Option.iter
     (fun t ->
@@ -127,7 +135,8 @@ let with_trace tr f =
       Option.iter
         (fun t ->
           Trace.finish t ~total_s:(now () -. t0);
-          Option.iter (fun sink -> sink t) !trace_sink)
+          Option.iter (fun sink -> sink t) !trace_sink;
+          Option.iter (fun sink -> sink t) !metrics_sink)
         tr)
     f
 

@@ -74,6 +74,14 @@ val trace_sink : (Trace.t -> unit) option ref
     internal trace if the caller did not supply one) — the hook behind
     the CLI's [--trace]. Traces are delivered even when the run raises. *)
 
+val metrics_sink : (Trace.t -> unit) option ref
+(** Second per-run delivery hook with the same contract as
+    {!trace_sink} (internal trace creation, delivery on raise), invoked
+    after it. Owned by [Tl_obs.Metrics.enable], which sits above this
+    library in the DAG and feeds the [engine_*] registry metrics from
+    each finished trace. Independent of [trace_sink]: either, both or
+    neither may be set. *)
+
 type 'state outcome = { states : 'state array; rounds : int }
 
 type 'state step_fn =

@@ -2,6 +2,11 @@ type t = { workers : int }
 
 let default_workers = ref 1
 
+(* Observation hook, owned by Tl_obs.Metrics (above this library in the
+   DAG): called once per map on the coordinating domain, before any
+   worker is spawned. *)
+let tap : (tasks:int -> workers:int -> unit) option ref = ref None
+
 let create ?workers () =
   let w = match workers with Some w -> w | None -> !default_workers in
   if w < 1 then invalid_arg "Pool.create: workers < 1";
@@ -17,6 +22,7 @@ type 'b slot = Pending | Done of 'b | Raised of exn
 let map t ~tasks ~f =
   let n = Array.length tasks in
   let p = min t.workers n in
+  (match !tap with Some obs -> obs ~tasks:n ~workers:(max 1 p) | None -> ());
   if p <= 1 then Array.mapi (fun i x -> f ~worker:0 ~index:i x) tasks
   else begin
     let slots = Array.make n Pending in

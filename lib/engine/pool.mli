@@ -27,6 +27,12 @@
 
 type t
 
+val tap : (tasks:int -> workers:int -> unit) option ref
+(** Observation hook: when set, every {!map} reports its task count and
+    effective worker count once, from the coordinating domain, before
+    any worker spawns. Owned by [Tl_obs.Metrics.enable] (the registry
+    sits above this library in the DAG); the callback must not raise. *)
+
 val default_workers : int ref
 (** Worker count used when {!create} gets no explicit [workers] — the
     CLI's [--pool N] sets this once at startup. Defaults to [1]

@@ -77,15 +77,41 @@ let flatten root =
   go "" root;
   List.rev !acc
 
+(* RFC 4180: a field containing the separator, a double quote or a line
+   break is wrapped in double quotes with embedded quotes doubled. Span
+   names and attr values are user-supplied (problem labels, file paths,
+   engine strings), so [path] and [attrs] go through this; the numeric
+   columns never can need it. *)
+let csv_field s =
+  if
+    not
+      (String.exists (function ',' | '"' | '\n' | '\r' -> true | _ -> false) s)
+  then s
+  else begin
+    let b = Buffer.create (String.length s + 2) in
+    Buffer.add_char b '"';
+    String.iter
+      (fun ch ->
+        if ch = '"' then Buffer.add_string b "\"\"" else Buffer.add_char b ch)
+      s;
+    Buffer.add_char b '"';
+    Buffer.contents b
+  end
+
 let to_csv root =
   let b = Buffer.create 256 in
-  Buffer.add_string b "path,depth,elapsed_s,rounds_self,rounds_total\n";
+  Buffer.add_string b "path,depth,elapsed_s,rounds_self,rounds_total,attrs\n";
   List.iter
     (fun (path, s) ->
       let depth =
         String.fold_left (fun n ch -> if ch = '/' then n + 1 else n) 0 path
       in
-      Printf.bprintf b "%s,%d,%.6f,%d,%d\n" path depth (Span.elapsed_s s)
-        (Span.rounds_self s) (Span.rounds_total s))
+      let attrs =
+        String.concat ";"
+          (List.map (fun (k, v) -> k ^ "=" ^ v) (Span.attrs s))
+      in
+      Printf.bprintf b "%s,%d,%.6f,%d,%d,%s\n" (csv_field path) depth
+        (Span.elapsed_s s) (Span.rounds_self s) (Span.rounds_total s)
+        (csv_field attrs))
     (flatten root);
   Buffer.contents b

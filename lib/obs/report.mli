@@ -41,8 +41,12 @@ val pp_tree : Format.formatter -> Span.t -> unit
 
 val to_csv : Span.t -> string
 (** Flat per-span rows
-    [path,depth,elapsed_s,rounds_self,rounds_total] with a header line;
-    [path] is the slash-joined span names from the root. *)
+    [path,depth,elapsed_s,rounds_self,rounds_total,attrs] with a header
+    line; [path] is the slash-joined span names from the root and
+    [attrs] the span's [k=v] attr pairs joined by [;]. The [path] and
+    [attrs] fields are RFC-4180 escaped: a value containing a comma,
+    double quote or line break is quoted with embedded quotes doubled,
+    so spreadsheet-grade parsers reassemble the exact original text. *)
 
 val flatten : Span.t -> (string * Span.t) list
 (** Pre-order [(path, span)] rows, the alignment key space used by the

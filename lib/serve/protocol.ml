@@ -54,7 +54,7 @@ let request ?(id = "") ?(problem = "mis") ?(method_ = "transform")
     ?(want_span = true) () =
   { id; problem; method_; spec; k; engine; shards; pool; want_span }
 
-type control = Ping | Stats | Shutdown
+type control = Ping | Stats | Shutdown | Metrics | Tail
 
 type incoming = Request of request | Control of string * control
 
@@ -115,6 +115,8 @@ let incoming_of_json j =
       | Some "ping" -> Ok (Control (id, Ping))
       | Some "stats" -> Ok (Control (id, Stats))
       | Some "shutdown" -> Ok (Control (id, Shutdown))
+      | Some "metrics" -> Ok (Control (id, Metrics))
+      | Some "tail" -> Ok (Control (id, Tail))
       | Some other -> Error (Printf.sprintf "unknown cmd %S" other)
       | None -> (
         let spec_j =
@@ -189,7 +191,9 @@ let control_to_json ?(id = "") c =
           (match c with
           | Ping -> "ping"
           | Stats -> "stats"
-          | Shutdown -> "shutdown") );
+          | Shutdown -> "shutdown"
+          | Metrics -> "metrics"
+          | Tail -> "tail") );
     ]
 
 (* ---------- responses ---------- *)
@@ -221,6 +225,8 @@ type outcome =
   | Solved of solved
   | Pong
   | Stats_report of (string * int) list
+  | Metrics_report of Json.t  (** tl_metrics=1 snapshot, passed verbatim *)
+  | Tail_report of Json.t list  (** flight-recorder events, oldest first *)
   | Error of error_kind * string
 
 type response = { rid : string; outcome : outcome }
@@ -254,6 +260,9 @@ let response_to_json { rid; outcome } =
             Json.Obj
               (List.map (fun (k, v) -> (k, Json.Num (float_of_int v))) kvs) );
         ])
+  | Metrics_report snap -> Json.Obj (base true @ [ ("metrics", snap) ])
+  | Tail_report events ->
+    Json.Obj (base true @ [ ("tail", Json.Arr events) ])
   | Error (kind, msg) ->
     Json.Obj
       (base false
@@ -300,6 +309,15 @@ let response_of_json j =
                   kvs
               in
               Ok { rid; outcome = Stats_report ints })
+          | None ->
+          match Json.member "metrics" j with
+          | Some snap -> Ok { rid; outcome = Metrics_report snap }
+          | None -> (
+          match Json.member "tail" j with
+          | Some tail_j -> (
+            match Json.to_list tail_j with
+            | None -> Stdlib.Error "tail must be an array"
+            | Some events -> Ok { rid; outcome = Tail_report events })
           | None -> (
             match
               ( Option.bind (Json.member "digest" j) Json.to_str,
@@ -327,7 +345,7 @@ let response_of_json j =
                         span = Json.member "span" j;
                       };
                 }
-            | _ -> Stdlib.Error "solved response missing digest/rounds"))
+            | _ -> Stdlib.Error "solved response missing digest/rounds")))
       | _ -> Stdlib.Error "response missing ok field")
   | _ -> Stdlib.Error "a response must be a JSON object"
 

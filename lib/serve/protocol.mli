@@ -7,7 +7,10 @@
     the matching {e response} echoes the request id and reports the
     labeling digest, the round ledger, the measured engine rounds and
     (optionally) a per-request tl_obs span report. {e Control} messages
-    ([ping] / [stats] / [shutdown]) bypass the job queue.
+    ([ping] / [stats] / [shutdown] / [metrics] / [tail]) bypass the job
+    queue: [metrics] answers with a versioned {!Tl_obs.Metrics} registry
+    snapshot ([tl_metrics = 1]) under a ["metrics"] member, [tail] with
+    the flight recorder's recent events under a ["tail"] array.
 
     {2 Request schema}
 
@@ -86,7 +89,7 @@ val request : ?id:string -> ?problem:string -> ?method_:string ->
 (** Request with the same defaults as the CLI's [solve]
     ([mis]/[transform]/[seq], shards 4, pool 1, span included). *)
 
-type control = Ping | Stats | Shutdown
+type control = Ping | Stats | Shutdown | Metrics | Tail
 
 type incoming = Request of request | Control of string * control
 (** One parsed input line; the [string] is the echoed id. *)
@@ -115,6 +118,12 @@ type outcome =
   | Solved of solved
   | Pong
   | Stats_report of (string * int) list
+  | Metrics_report of Tl_obs.Json.t
+      (** the daemon's [tl_metrics = 1] snapshot, verbatim (decode with
+          {!Tl_obs.Metrics.snapshot_of_json}) *)
+  | Tail_report of Tl_obs.Json.t list
+      (** flight-recorder events, oldest first (decode each with
+          {!Tl_obs.Metrics.Recorder.event_of_json}) *)
   | Error of error_kind * string
 
 type response = { rid : string; outcome : outcome }

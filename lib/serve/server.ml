@@ -1,6 +1,7 @@
 module Json = Tl_obs.Json
 module Span = Tl_obs.Span
 module Report = Tl_obs.Report
+module Metrics = Tl_obs.Metrics
 module Graph = Tl_graph.Graph
 module Gen = Tl_graph.Gen
 module Props = Tl_graph.Props
@@ -19,15 +20,33 @@ type config = { depth : int; cache_slots : int; max_n : int }
 
 let default_config = { depth = 64; cache_slots = 32; max_n = 2_000_000 }
 
-type stats_rec = {
-  mutable received : int;
-  mutable served : int;
-  mutable rejected : int;
-  mutable errors : int;
-  mutable batches : int;
-  mutable max_batch : int;
-  mutable cache_hits : int;
-  mutable cache_misses : int;
+let now = Unix.gettimeofday
+
+(* Serving counters live in the process-wide metrics registry (the
+   [metrics] control scrapes them); each server value remembers the
+   registry values at creation and reports deltas, so the [stats]
+   control keeps its per-server semantics (and its exact JSON shape)
+   while every increment feeds the registry. *)
+let m_received = Metrics.counter "serve_received_total"
+let m_served = Metrics.counter "serve_served_total"
+let m_rejected = Metrics.counter "serve_rejected_total"
+let m_errors = Metrics.counter "serve_errors_total"
+let m_batches = Metrics.counter "serve_batches_total"
+let m_cache_hits = Metrics.counter "serve_cache_hits_total"
+let m_cache_misses = Metrics.counter "serve_cache_misses_total"
+let g_jobq = Metrics.gauge "serve_jobq_depth"
+let g_max_batch = Metrics.gauge "serve_max_batch"
+let h_latency = Metrics.histogram "serve_request_seconds"
+let h_batch = Metrics.histogram "serve_batch_size"
+
+type base = {
+  b_received : int;
+  b_served : int;
+  b_rejected : int;
+  b_errors : int;
+  b_batches : int;
+  b_cache_hits : int;
+  b_cache_misses : int;
 }
 
 (* One cached instance per spec key. The semi-graph is lazy so pipeline
@@ -46,29 +65,33 @@ type t = {
   queue : (int * P.request) Jobq.t;
   cache : (string, instance) Hashtbl.t;
   cache_order : string Queue.t;
-  stats : stats_rec;
+  base : base;
+  mutable max_batch : int;  (* a maximum, not a counter: kept per server *)
   mutable shutdown : bool;
 }
 
 let create ?(config = default_config) () =
   if config.cache_slots < 0 then invalid_arg "Server.create: cache_slots < 0";
   if config.max_n < 1 then invalid_arg "Server.create: max_n < 1";
+  (* every daemon turns the registry (and the engine bridge) on: the
+     metrics control must see live engine/shard/pool counters too *)
+  Metrics.enable ();
   {
     cfg = config;
     queue = Jobq.create ~depth:config.depth;
     cache = Hashtbl.create 64;
     cache_order = Queue.create ();
-    stats =
+    base =
       {
-        received = 0;
-        served = 0;
-        rejected = 0;
-        errors = 0;
-        batches = 0;
-        max_batch = 0;
-        cache_hits = 0;
-        cache_misses = 0;
+        b_received = Metrics.counter_value m_received;
+        b_served = Metrics.counter_value m_served;
+        b_rejected = Metrics.counter_value m_rejected;
+        b_errors = Metrics.counter_value m_errors;
+        b_batches = Metrics.counter_value m_batches;
+        b_cache_hits = Metrics.counter_value m_cache_hits;
+        b_cache_misses = Metrics.counter_value m_cache_misses;
       };
+    max_batch = 0;
     shutdown = false;
   }
 
@@ -79,15 +102,16 @@ let stats t =
   let topo_h, topo_m = Topology.cache_stats () in
   let plan_h, plan_m = Plan.cache_stats () in
   [
-    ("received", t.stats.received);
-    ("served", t.stats.served);
-    ("rejected", t.stats.rejected);
-    ("errors", t.stats.errors);
-    ("batches", t.stats.batches);
-    ("max_batch", t.stats.max_batch);
+    ("received", Metrics.counter_value m_received - t.base.b_received);
+    ("served", Metrics.counter_value m_served - t.base.b_served);
+    ("rejected", Metrics.counter_value m_rejected - t.base.b_rejected);
+    ("errors", Metrics.counter_value m_errors - t.base.b_errors);
+    ("batches", Metrics.counter_value m_batches - t.base.b_batches);
+    ("max_batch", t.max_batch);
     ("queue_depth", t.cfg.depth);
-    ("serve:cache_hit", t.stats.cache_hits);
-    ("serve:cache_miss", t.stats.cache_misses);
+    ("serve:cache_hit", Metrics.counter_value m_cache_hits - t.base.b_cache_hits);
+    ( "serve:cache_miss",
+      Metrics.counter_value m_cache_misses - t.base.b_cache_misses );
     ("topo:cache_hit", topo_h);
     ("topo:cache_miss", topo_m);
     ("plan:cache_hit", plan_h);
@@ -131,10 +155,10 @@ let instance t spec =
   let key = P.spec_key spec in
   match Hashtbl.find_opt t.cache key with
   | Some inst ->
-    t.stats.cache_hits <- t.stats.cache_hits + 1;
+    Metrics.incr m_cache_hits 1;
     (inst, true)
   | None ->
-    t.stats.cache_misses <- t.stats.cache_misses + 1;
+    Metrics.incr m_cache_misses 1;
     let inst = build_instance spec in
     if t.cfg.cache_slots > 0 then begin
       while Queue.length t.cache_order >= t.cfg.cache_slots do
@@ -340,28 +364,64 @@ let exec t (r : P.request) ~mode =
     span = (if r.want_span then Some (Report.to_json span) else None);
   }
 
+let knobs_of (r : P.request) =
+  Printf.sprintf "%s/%s engine=%s shards=%d pool=%d" r.problem r.method_
+    r.engine r.shards r.pool
+
+let record_request (r : P.request) ~outcome ~latency_s =
+  Metrics.Recorder.record
+    {
+      Metrics.Recorder.ts = now ();
+      kind = "request";
+      key = P.spec_key r.spec;
+      detail = knobs_of r;
+      outcome;
+      latency_s;
+    }
+
+(* Error accounting: count, flight-record, and dump the recorder's
+   recent past to stderr — a failed request carries its own context out
+   of the daemon instead of leaving "it was slow" unanswerable. *)
+let fail (r : P.request) ~t0 ~kind msg =
+  Metrics.incr m_errors 1;
+  record_request r
+    ~outcome:("error:" ^ P.error_kind_to_string kind)
+    ~latency_s:(now () -. t0);
+  Metrics.Recorder.dump ~limit:4 stderr;
+  { P.rid = r.id; outcome = P.Error (kind, msg) }
+
 (* Validate and execute an already-admitted job (the request was
    validated at admission, so a validation error here is impossible in
    practice — still handled, for safety). Never raises. *)
 let exec_admitted t (r : P.request) =
+  let t0 = now () in
   match validate t r with
-  | Error msg ->
-    t.stats.errors <- t.stats.errors + 1;
-    { P.rid = r.id; outcome = P.Error (P.Bad_request, msg) }
+  | Error msg -> fail r ~t0 ~kind:P.Bad_request msg
   | Ok mode -> (
     match exec t r ~mode with
     | solved ->
-      t.stats.served <- t.stats.served + 1;
+      let dt = now () -. t0 in
+      Metrics.incr m_served 1;
+      (* the aggregate histogram counts exactly the served requests
+         (the metrics-smoke invariant); the labeled one splits the
+         distribution per (kernel, engine) *)
+      Metrics.observe h_latency dt;
+      Metrics.observe
+        (Metrics.histogram
+           ~labels:
+             [
+               ("problem", r.problem);
+               ("engine", Engine.mode_to_string mode);
+             ]
+           "serve_request_seconds")
+        dt;
+      record_request r ~outcome:"ok" ~latency_s:dt;
       { P.rid = r.id; outcome = P.Solved solved }
-    | exception Inadmissible msg ->
-      t.stats.errors <- t.stats.errors + 1;
-      { P.rid = r.id; outcome = P.Error (P.Bad_request, msg) }
-    | exception e ->
-      t.stats.errors <- t.stats.errors + 1;
-      { P.rid = r.id; outcome = P.Error (P.Failed, error_message e) })
+    | exception Inadmissible msg -> fail r ~t0 ~kind:P.Bad_request msg
+    | exception e -> fail r ~t0 ~kind:P.Failed (error_message e))
 
 let handle_request t (r : P.request) =
-  t.stats.received <- t.stats.received + 1;
+  Metrics.incr m_received 1;
   exec_admitted t r
 
 (* ---------- the admission / batching / drain cycle ---------- *)
@@ -369,6 +429,18 @@ let handle_request t (r : P.request) =
 let control_response t id = function
   | P.Ping -> { P.rid = id; outcome = P.Pong }
   | P.Stats -> { P.rid = id; outcome = P.Stats_report (stats t) }
+  | P.Metrics ->
+    {
+      P.rid = id;
+      outcome = P.Metrics_report (Metrics.snapshot_to_json (Metrics.snapshot ()));
+    }
+  | P.Tail ->
+    {
+      P.rid = id;
+      outcome =
+        P.Tail_report
+          (List.map Metrics.Recorder.event_to_json (Metrics.Recorder.tail ()));
+    }
   | P.Shutdown ->
     t.shutdown <- true;
     { P.rid = id; outcome = P.Pong }
@@ -395,15 +467,15 @@ let handle_lines t lines =
           slots.(i) <- Some { P.rid; outcome = P.Error (P.Bad_request, msg) }
         | Ok (P.Control (id, c)) -> controls := (i, id, c) :: !controls
         | Ok (P.Request r) -> (
-          t.stats.received <- t.stats.received + 1;
+          Metrics.incr m_received 1;
           match validate t r with
           | Error msg ->
-            t.stats.errors <- t.stats.errors + 1;
+            Metrics.incr m_errors 1;
             slots.(i) <-
               Some { P.rid = r.id; outcome = P.Error (P.Bad_request, msg) }
           | Ok _mode ->
             if not (Jobq.admit t.queue (i, r)) then begin
-              t.stats.rejected <- t.stats.rejected + 1;
+              Metrics.incr m_rejected 1;
               slots.(i) <-
                 Some
                   {
@@ -417,10 +489,14 @@ let handle_lines t lines =
             end)))
     lines;
   (* drain, batching same-topology jobs back to back *)
+  Metrics.set_gauge g_jobq (Jobq.length t.queue);
   let batch = Jobq.drain t.queue in
   if batch <> [] then begin
-    t.stats.batches <- t.stats.batches + 1;
-    t.stats.max_batch <- max t.stats.max_batch (List.length batch)
+    let len = List.length batch in
+    Metrics.incr m_batches 1;
+    t.max_batch <- max t.max_batch len;
+    Metrics.gauge_max g_max_batch len;
+    Metrics.observe h_batch (float_of_int len)
   end;
   let by_key = Hashtbl.create 16 in
   List.iter
@@ -439,6 +515,7 @@ let handle_lines t lines =
         List.iter (fun (i, r) -> slots.(i) <- Some (exec_admitted t r)) group
       end)
     batch;
+  Metrics.set_gauge g_jobq (Jobq.length t.queue);
   (* controls observe the cycle's post-batch state *)
   List.iter
     (fun (i, id, c) -> slots.(i) <- Some (control_response t id c))

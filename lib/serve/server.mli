@@ -1,8 +1,15 @@
 (** The tl_serve daemon: admission, batching, execution, IO loops.
 
-    One server value owns a bounded {!Jobq} (the backpressure boundary),
-    a bounded instance cache (graph + ID assignment + lazily-built
-    semi-graph per {!Protocol.spec_key}) and the running statistics. The
+    One server value owns a bounded {!Jobq} (the backpressure boundary)
+    and a bounded instance cache (graph + ID assignment + lazily-built
+    semi-graph per {!Protocol.spec_key}). Running statistics live in the
+    process-wide {!Tl_obs.Metrics} registry (enabled by {!create}, which
+    also bridges the engine/pool hooks): the [stats] control reports
+    per-server deltas against the registry values captured at creation,
+    the [metrics] control scrapes the whole registry as a
+    [tl_metrics = 1] snapshot, and the [tail] control returns the flight
+    recorder's recent request/exchange events (also dumped to stderr
+    automatically when a request fails). The
     daemon is {e single-threaded by design}: requests are admitted and
     executed on one domain, and parallelism lives below, in the engine's
     domain pool and shard backend — exactly the knobs a request names.

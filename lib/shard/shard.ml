@@ -3,8 +3,17 @@ module Topology = Tl_engine.Topology
 module Trace = Tl_engine.Trace
 module Pool = Tl_engine.Pool
 module Span = Tl_obs.Span
+module Metrics = Tl_obs.Metrics
 
 let now = Unix.gettimeofday
+
+(* Registry metrics (lazy so an unused backend never registers). All
+   observations happen on the coordinating domain, guarded by
+   [Metrics.enabled] — a disabled registry costs one Atomic.get per
+   round here. *)
+let m_exchange_s = lazy (Metrics.histogram "shard_exchange_seconds")
+let m_halo_words = lazy (Metrics.counter "shard_halo_words_total")
+let m_runs = lazy (Metrics.counter "shard_runs_total")
 
 let record tr ~round ~active ~changed ~unhalted ~t0 =
   Option.iter
@@ -197,8 +206,11 @@ let total_active ctxs =
   Array.fold_left (fun acc c -> acc + c.n_active) 0 ctxs
 
 (* One full round: local step (optionally fanned over the pool),
-   sequential commit, batched exchange, barrier, active-set advance. *)
-let exec_round ctxs ~pool ~p_eff ~step ~round ~sched ~equal ~on_change =
+   sequential commit, batched exchange, barrier, active-set advance.
+   [exch_acc] accumulates the run's exchange wall-time for the flight
+   recorder; the per-round time also feeds the exchange histogram. *)
+let exec_round ctxs ~pool ~p_eff ~step ~round ~sched ~equal ~on_change
+    ~exch_acc =
   if p_eff > 1 then
     ignore
       (Pool.map pool ~tasks:ctxs ~f:(fun ~worker:_ ~index:_ c ->
@@ -211,7 +223,14 @@ let exec_round ctxs ~pool ~p_eff ~step ~round ~sched ~equal ~on_change =
   Array.iter
     (fun c -> changed := !changed + commit c ~equal ~sched ~on_change)
     ctxs;
-  exchange ctxs ~sched;
+  (if Metrics.enabled () then begin
+     let tx = now () in
+     exchange ctxs ~sched;
+     let dt = now () -. tx in
+     exch_acc := !exch_acc +. dt;
+     Metrics.observe (Lazy.force m_exchange_s) dt
+   end
+   else exchange ctxs ~sched);
   (match sched with
   | Engine.Full_scan -> ()
   | Engine.Active_set -> Array.iter advance ctxs);
@@ -256,6 +275,27 @@ let emit_spans plan ctxs plan_hit =
       ctxs
   end
 
+(* Registry/recorder emission — coordinating domain, same finally as
+   span emission: one halo-words increment and one "exchange" flight
+   event per run, summarizing the run's boundary traffic. *)
+let emit_metrics plan ctxs ~exch_s =
+  if Metrics.enabled () then begin
+    let halo = Array.fold_left (fun acc c -> acc + c.halo_words) 0 ctxs in
+    Metrics.incr (Lazy.force m_halo_words) halo;
+    Metrics.incr (Lazy.force m_runs) 1;
+    Metrics.Recorder.record
+      {
+        Metrics.Recorder.ts = now ();
+        kind = "exchange";
+        key = Printf.sprintf "shards:%d" (Array.length ctxs);
+        detail =
+          Printf.sprintf "halo_words=%d cut_edges=%d" halo
+            (Plan.cut_edges_total plan);
+        outcome = "ok";
+        latency_s = exch_s;
+      }
+  end
+
 let prepare ~shards ~topo ~init =
   let plan, plan_hit = Plan.build_cached ~topo ~shards in
   let states = Array.init topo.Topology.n_base (fun v -> init v) in
@@ -296,8 +336,11 @@ let sb_run :
     topo.Topology.present_nodes;
   let rounds = ref 0 in
   let stalled = ref false in
+  let exch_acc = ref 0. in
   Fun.protect
-    ~finally:(fun () -> emit_spans plan ctxs plan_hit)
+    ~finally:(fun () ->
+      emit_spans plan ctxs plan_hit;
+      emit_metrics plan ctxs ~exch_s:!exch_acc)
     (fun () ->
       while !n_unhalted > 0 && !rounds < max_rounds && not !stalled do
         let active_now = total_active ctxs in
@@ -307,6 +350,7 @@ let sb_run :
           incr rounds;
           let changed =
             exec_round ctxs ~pool ~p_eff ~step ~round:!rounds ~sched ~equal
+              ~exch_acc
               ~on_change:(fun v s ->
                 let h = halted s in
                 if h <> halted_f.(v) then begin
@@ -341,8 +385,11 @@ let sb_run_until_stable :
   in
   let rounds = ref 0 in
   let stable = ref false in
+  let exch_acc = ref 0. in
   Fun.protect
-    ~finally:(fun () -> emit_spans plan ctxs plan_hit)
+    ~finally:(fun () ->
+      emit_spans plan ctxs plan_hit;
+      emit_metrics plan ctxs ~exch_s:!exch_acc)
     (fun () ->
       while (not !stable) && !rounds < max_rounds do
         let active_now = total_active ctxs in
@@ -351,7 +398,7 @@ let sb_run_until_stable :
           let t0 = now () in
           let changed =
             exec_round ctxs ~pool ~p_eff ~step ~round:(!rounds + 1) ~sched
-              ~equal
+              ~equal ~exch_acc
               ~on_change:(fun _ _ -> ())
           in
           record tr ~round:(!rounds + 1) ~active:active_now ~changed
@@ -381,8 +428,11 @@ let sb_run_rounds :
   let plan, plan_hit, states, ctxs, pool, p_eff =
     prepare ~shards ~topo ~init
   in
+  let exch_acc = ref 0. in
   Fun.protect
-    ~finally:(fun () -> emit_spans plan ctxs plan_hit)
+    ~finally:(fun () ->
+      emit_spans plan ctxs plan_hit;
+      emit_metrics plan ctxs ~exch_s:!exch_acc)
     (fun () ->
       for r = 1 to total do
         let active_now = total_active ctxs in
@@ -390,6 +440,7 @@ let sb_run_rounds :
           let t0 = now () in
           let changed =
             exec_round ctxs ~pool ~p_eff ~step ~round:r ~sched ~equal
+              ~exch_acc
               ~on_change:(fun _ _ -> ())
           in
           record tr ~round:r ~active:active_now ~changed ~unhalted:(-1) ~t0

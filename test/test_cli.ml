@@ -92,6 +92,59 @@ let test_trace_unwritable_warns_not_fails () =
   check_int "still exit 0" 0 code;
   check "warns on stderr" true (contains ~needle:"cannot write" stderr)
 
+(* --profile and --trace together flush through one unified at_exit: both
+   files must come out complete, with the profile lines printed before
+   the trace lines (the order the two separate at_exit callbacks used to
+   produce, now fixed by construction). *)
+let test_profile_and_trace_flush_together () =
+  let prof = Filename.temp_file "tl_profile" ".json" in
+  let trace = Filename.temp_file "tl_trace" ".json" in
+  let code, stdout, _ =
+    run_cmd
+      (Printf.sprintf "%s %s --engine seq --profile %s --trace %s" cli
+         solve_args prof trace)
+  in
+  check_int "exit 0" 0 code;
+  let prof_j = Json.parse_file prof in
+  Sys.remove prof;
+  check "profile complete" true
+    (Option.bind (Json.member "tl_obs_report" prof_j) Json.to_int = Some 1);
+  let trace_j = Json.parse_file trace in
+  Sys.remove trace;
+  check "trace complete" true
+    (match trace_j with Json.Arr (_ :: _) -> true | _ -> false);
+  let find needle =
+    let nl = String.length needle and hl = String.length stdout in
+    let rec go i =
+      if i + nl > hl then -1
+      else if String.sub stdout i nl = needle then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let p = find "profile:" and t = find "trace:" in
+  check "profile line printed" true (p >= 0);
+  check "trace line printed" true (t >= 0);
+  check "profile flushes before trace" true (p < t)
+
+(* One flusher failing must not truncate the other: with an unwritable
+   trace path and a writable profile path, the trace warning appears on
+   stderr and the profile still lands complete. *)
+let test_failed_trace_flush_spares_profile () =
+  let prof = Filename.temp_file "tl_profile" ".json" in
+  let code, _, stderr =
+    run_cmd
+      (Printf.sprintf
+         "%s %s --engine seq --profile %s --trace /nonexistent-dir-xyz/t.json"
+         cli solve_args prof)
+  in
+  check_int "still exit 0" 0 code;
+  check "trace warns on stderr" true (contains ~needle:"cannot write" stderr);
+  let prof_j = Json.parse_file prof in
+  Sys.remove prof;
+  check "profile survives the failed trace flush" true
+    (Option.bind (Json.member "tl_obs_report" prof_j) Json.to_int = Some 1)
+
 let test_bad_engine_is_usage_error () =
   let code, _, stderr =
     run_cmd (Printf.sprintf "%s %s --engine warp" cli solve_args)
@@ -226,6 +279,10 @@ let () =
             test_profile_unwritable_dir_is_usage_error;
           Alcotest.test_case "--trace bad dir -> warning only" `Quick
             test_trace_unwritable_warns_not_fails;
+          Alcotest.test_case "--profile + --trace flush together" `Quick
+            test_profile_and_trace_flush_together;
+          Alcotest.test_case "failed trace flush spares profile" `Quick
+            test_failed_trace_flush_spares_profile;
           Alcotest.test_case "--engine bad value -> usage error" `Quick
             test_bad_engine_is_usage_error;
           Alcotest.test_case "knob cross-validation -> usage errors" `Quick

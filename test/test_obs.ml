@@ -341,9 +341,46 @@ let test_report_flatten_and_csv () =
     (paths = [ "solve"; "solve/decompose"; "solve/base"; "solve/base#1" ]);
   let csv = Report.to_csv root in
   let lines = String.split_on_char '\n' (String.trim csv) in
-  check_str "csv header" "path,depth,elapsed_s,rounds_self,rounds_total"
+  check_str "csv header" "path,depth,elapsed_s,rounds_self,rounds_total,attrs"
     (List.hd lines);
-  check_int "csv rows" 5 (List.length lines)
+  check_int "csv rows" 5 (List.length lines);
+  (* root row carries its attrs as ;-joined k=v pairs in the last field *)
+  let root_row = List.nth lines 1 in
+  check "root attrs column" true
+    (String.length root_row >= 11
+    && String.sub root_row (String.length root_row - 11) 11 = "problem=mis")
+
+(* RFC 4180: span names and attr values containing the separator, a
+   quote or a newline must come back quoted with inner quotes doubled —
+   a raw comma in a span name used to shift every later column. *)
+let test_report_csv_escaping () =
+  let _, root =
+    Span.run "solve, \"quoted\""
+      ~attrs:[ ("note", "a,b"); ("quote", "say \"hi\""); ("nl", "x\ny") ]
+      (fun () -> Span.with_span "plain" (fun () -> ()))
+  in
+  let csv = Report.to_csv root in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  (* the embedded newline in an attr value is quoted, not a row break:
+     header + 2 spans + 1 continuation line of the quoted field *)
+  check_int "csv physical lines" 4 (List.length lines);
+  let row = List.nth lines 1 in
+  check "path field quoted" true
+    (String.length row > 0 && row.[0] = '"');
+  let prefix = "\"solve, \"\"quoted\"\"\"," in
+  check "quotes doubled in path" true
+    (String.length row >= String.length prefix
+    && String.sub row 0 (String.length prefix) = prefix);
+  let attrs_field = {|"note=a,b;quote=say ""hi"";nl=x|} in
+  check "attrs field quoted and escaped" true
+    (let alen = String.length attrs_field and rlen = String.length row in
+     rlen >= alen && String.sub row (rlen - alen) alen = attrs_field);
+  check_str "quoted newline continuation" "y\"" (List.nth lines 2);
+  (* a clean tree keeps bare, unquoted fields *)
+  let _, clean = Span.run "ok" ~attrs:[ ("k", "v") ] (fun () -> ()) in
+  let clean_row = List.nth (String.split_on_char '\n' (Report.to_csv clean)) 1 in
+  check "no spurious quoting" true
+    (not (String.contains clean_row '"'))
 
 (* ---------- Pipeline phase schemas (acceptance criterion) ---------- *)
 
@@ -450,6 +487,8 @@ let () =
           Alcotest.test_case "json schema" `Quick test_report_json_schema;
           Alcotest.test_case "flatten + csv" `Quick
             test_report_flatten_and_csv;
+          Alcotest.test_case "csv rfc-4180 escaping" `Quick
+            test_report_csv_escaping;
         ] );
       ( "pipeline-phases",
         [

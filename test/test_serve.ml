@@ -18,6 +18,7 @@ module Pipeline = Tl_core.Pipeline
 module P = Tl_serve.Protocol
 module Jobq = Tl_serve.Jobq
 module Server = Tl_serve.Server
+module Metrics = Tl_obs.Metrics
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -103,6 +104,31 @@ let test_response_roundtrip () =
       };
       { P.rid = "b"; outcome = P.Pong };
       { P.rid = "c"; outcome = P.Stats_report [ ("served", 3) ] };
+      {
+        P.rid = "m";
+        outcome =
+          P.Metrics_report
+            (Json.Obj
+               [
+                 ("tl_metrics", Json.Num 1.);
+                 ("counters", Json.Obj [ ("serve_served_total", Json.Num 3.) ]);
+                 ("gauges", Json.Obj []);
+                 ("histograms", Json.Obj []);
+               ]);
+      };
+      {
+        P.rid = "t";
+        outcome =
+          P.Tail_report
+            [
+              Json.Obj
+                [
+                  ("ts", Json.Num 1.5); ("kind", Json.Str "request");
+                  ("key", Json.Str "k"); ("detail", Json.Str "");
+                  ("outcome", Json.Str "ok"); ("latency_s", Json.Num 0.01);
+                ];
+            ];
+      };
       { P.rid = "d"; outcome = P.Error (P.Rejected, "queue full (depth 2)") };
       { P.rid = "e"; outcome = P.Error (P.Bad_request, "nope") };
       { P.rid = "f"; outcome = P.Error (P.Failed, "boom") };
@@ -599,6 +625,76 @@ let test_subprocess_backpressure () =
       flush out;
       ignore (input_line inc))
 
+(* The observability controls through the real daemon: `metrics` returns
+   a decodable tl_metrics = 1 snapshot whose serving counters and
+   latency histogram agree with the requests just served (and with the
+   `stats` control's own numbers), `tail` returns the flight recorder's
+   view of the same burst. *)
+let test_subprocess_metrics_and_tail () =
+  with_daemon "" (fun inc out ->
+      let served = 3 in
+      for i = 1 to served do
+        output_string out (req_line ~id:(Printf.sprintf "r%d" i) ~seed:i ());
+        output_char out '\n'
+      done;
+      output_string out "{\"v\":1,\"id\":\"st\",\"cmd\":\"stats\"}\n";
+      output_string out "{\"v\":1,\"id\":\"m\",\"cmd\":\"metrics\"}\n";
+      output_string out "{\"v\":1,\"id\":\"t\",\"cmd\":\"tail\"}\n";
+      output_string out "{\"v\":1,\"id\":\"bye\",\"cmd\":\"shutdown\"}\n";
+      flush out;
+      for i = 1 to served do
+        match (parse_resp (input_line inc)).P.outcome with
+        | P.Solved _ -> ()
+        | _ -> Alcotest.failf "request %d not solved" i
+      done;
+      let stats =
+        match (parse_resp (input_line inc)).P.outcome with
+        | P.Stats_report kvs -> kvs
+        | _ -> Alcotest.fail "stats control did not answer"
+      in
+      let snap =
+        match (parse_resp (input_line inc)).P.outcome with
+        | P.Metrics_report j -> (
+          match Metrics.snapshot_of_json j with
+          | Ok s -> s
+          | Error msg -> Alcotest.fail ("snapshot did not decode: " ^ msg))
+        | _ -> Alcotest.fail "metrics control did not answer"
+      in
+      let counter name =
+        Option.value ~default:(-1) (List.assoc_opt name snap.Metrics.counters)
+      in
+      check_int "served counter" served (counter "serve_served_total");
+      check_int "received counter" served (counter "serve_received_total");
+      check_int "stats agrees with registry" (counter "serve_served_total")
+        (Option.get (List.assoc_opt "served" stats));
+      (* the aggregate latency histogram holds exactly one observation
+         per served request *)
+      (match List.assoc_opt "serve_request_seconds" snap.Metrics.histograms with
+      | None -> Alcotest.fail "aggregate latency histogram missing"
+      | Some h ->
+        check_int "histogram count == served" served h.Metrics.h_count;
+        check "latency sum positive" true (h.Metrics.h_sum > 0.));
+      (* ...and the per-(problem, engine) labeled histogram exists *)
+      check "labeled latency histogram" true
+        (List.mem_assoc
+           "serve_request_seconds{problem=\"flood\",engine=\"seq\"}"
+           snap.Metrics.histograms);
+      (* the flight recorder saw the whole burst, in order, all ok *)
+      let events =
+        match (parse_resp (input_line inc)).P.outcome with
+        | P.Tail_report js -> List.filter_map Metrics.Recorder.event_of_json js
+        | _ -> Alcotest.fail "tail control did not answer"
+      in
+      check_int "no event lost in decode" (List.length events)
+        (List.length
+           (List.filter
+              (fun e -> e.Metrics.Recorder.kind = "request")
+              events));
+      check_int "one event per request" served (List.length events);
+      check "all ok" true
+        (List.for_all (fun e -> e.Metrics.Recorder.outcome = "ok") events);
+      ignore (input_line inc))
+
 (* Socket-path claiming: a stale socket file is replaced, a path a
    running daemon answers on is refused without unlinking it, and a
    non-socket file is never touched. *)
@@ -715,6 +811,8 @@ let () =
             test_subprocess_roundtrip;
           Alcotest.test_case "burst backpressure" `Quick
             test_subprocess_backpressure;
+          Alcotest.test_case "metrics + tail controls" `Quick
+            test_subprocess_metrics_and_tail;
           Alcotest.test_case "socket-path claiming" `Quick
             test_socket_path_claiming;
         ] );
