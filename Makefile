@@ -12,7 +12,7 @@ test:
 bench:
 	dune exec bench/main.exe
 
-EXPERIMENTS = E1-E3 E4-E5 E6 E7 E8 E9 E10 E11 E12 E13 E14 A B B6 B7 B8 B9 B10
+EXPERIMENTS = E1-E3 E4-E5 E6 E7 E8 E9 E10 E11 E12 E13 E14 A B B6 B7 B8 B9 B10 B11
 
 # Regenerate every committed bench artifact (BENCH_*.json, bench_csv/ +
 # MANIFEST.csv, bench_output.txt), one process per experiment.  The
@@ -40,6 +40,7 @@ bench-smoke:
 	TL_POOL_BENCH_N=2000 dune exec bench/main.exe -- B7
 	TL_SHARD_BENCH_N=2000 dune exec bench/main.exe -- B8
 	TL_METRICS_BENCH_N=20000 dune exec bench/main.exe -- B10
+	TL_FLAT_BENCH_N=20000 dune exec bench/main.exe -- B11
 	dune exec bench/regress.exe -- --tolerance 5.0 bench-baseline.json BENCH_engine.json
 	cp BENCH_serve.json serve-baseline.json
 	TL_SERVE_BENCH_N=2000 TL_SERVE_BENCH_R=20 dune exec bench/main.exe -- B9
@@ -56,6 +57,7 @@ serve-smoke:
 	grep -q "daemon exited cleanly" serve_smoke.out
 	test "$$(grep -oE 'digest=[0-9a-f]+' serve_smoke.out | head -2 | sort -u | wc -l)" -eq 1
 	grep -q "cache_hit=true" serve_smoke.out
+	grep -q "pool-spawns first=[0-9]* second=[0-9]* stable=true" serve_smoke.out
 	rm -f serve_smoke.out
 
 # Live-metrics smoke: the example client spawns the real daemon over

@@ -768,23 +768,36 @@ let run_metrics () =
     in
     (o.Engine.states, o.Engine.rounds)
   in
-  let reps = if n >= 500_000 then 3 else 5 in
-  let best f =
-    let best = ref infinity and result = ref None in
-    for _ = 1 to reps do
-      let t0 = Unix.gettimeofday () in
-      let r = f () in
-      let dt = Unix.gettimeofday () -. t0 in
-      if dt < !best then best := dt;
-      result := Some r
-    done;
-    (Option.get !result, !best)
-  in
+  let reps = if n >= 500_000 then 5 else 7 in
+  (* One untimed warmup per arm, then interleaved off/on trials: each
+     rep times the off arm and the on arm back to back, so page-cache
+     state and machine-load drift land on both arms alike. (The old
+     all-off-then-all-on ordering let whichever arm ran first absorb
+     the cold start — "on" would occasionally beat "off" on run order
+     alone.) *)
   Metrics.disable ();
-  let off_r, off_t = best flood in
+  let off_r = ref (flood ()) in
   Metrics.enable ();
+  let on_r = ref (flood ()) in
   Metrics.reset ();
-  let on_r, on_t = best flood in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let best_off = ref infinity and best_on = ref infinity in
+  for _ = 1 to reps do
+    Metrics.disable ();
+    let r, dt = time flood in
+    if dt < !best_off then best_off := dt;
+    off_r := r;
+    Metrics.enable ();
+    let r, dt = time flood in
+    if dt < !best_on then best_on := dt;
+    on_r := r
+  done;
+  let off_r = !off_r and on_r = !on_r in
+  let off_t = !best_off and on_t = !best_on in
   let runs_seen = Metrics.counter_value (Metrics.counter "engine_runs_total") in
   let steps_seen =
     Metrics.counter_value (Metrics.counter "engine_steps_total")
@@ -834,6 +847,253 @@ let run_metrics () =
         ];
     ];
   Printf.printf "merged metrics-overhead into BENCH_engine.json\n"
+
+(* ---------- B11: flat slabs + domain team (merges into BENCH_engine.json) ----------
+
+   Times flood and greedy MIS on the boxed active-set engine (Seq, the
+   production reference) against the flat slab path — sequential and
+   fanned over the persistent domain team — asserting the flat results
+   bit-identical to the boxed ones. Also measures the flat hot path's
+   minor-heap allocation per step on an untraced flat:seq run and
+   merges it as its own pseudo-kernel row ("flat-alloc", wall_s =
+   words/step): bench/regress.exe then gates allocation regressions
+   through its existing absolute floor, no new tooling. Size is
+   overridable via TL_FLAT_BENCH_N (CI smoke). *)
+
+module Flat = Tl_engine.Flat
+
+let flat_bench_n () =
+  match Option.bind (Sys.getenv_opt "TL_FLAT_BENCH_N") int_of_string_opt with
+  | Some n when n > 1 -> n
+  | _ -> 1_000_000
+
+(* Step count of one traced run of [f]; rounds and steps are
+   deterministic per mode, so one extra run outside the timing loop. *)
+let flat_steps_of f =
+  let traces = ref [] in
+  let saved = !Engine.trace_sink in
+  Engine.trace_sink := Some (fun t -> traces := t :: !traces);
+  Fun.protect
+    ~finally:(fun () -> Engine.trace_sink := saved)
+    (fun () ->
+      ignore (f ());
+      List.fold_left
+        (fun acc t -> acc + (Trace.metrics t).Trace.steps)
+        0 !traces)
+
+(* One kernel's comparison rows: boxed Seq reference plus the flat path
+   at par in {1, 2, 4}. [col_boxed] projects the boxed outcome to the
+   (int column, rounds) pair the flat column is compared against.
+   Trials are interleaved — each rep times the boxed arm then every
+   flat arm back to back, after one untimed warmup apiece — so machine
+   load drift lands on all arms alike (the same bias B10 corrects for;
+   all-of-one-arm-then-the-next made ratios on a busy host a function
+   of run order, not of the code). *)
+let flat_kernel_rows ~reps ~run_boxed ~col_boxed ~run_flat_par =
+  let pars = [| 1; 2; 4 |] in
+  let warm_b = ref (run_boxed ()) in
+  let warm_f = Array.map (fun par -> run_flat_par par) pars in
+  let t_b = ref infinity in
+  let t_f = Array.make (Array.length pars) infinity in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  for _ = 1 to reps do
+    let r, dt = time run_boxed in
+    if dt < !t_b then t_b := dt;
+    warm_b := r;
+    Array.iteri
+      (fun i par ->
+        let r, dt = time (fun () -> run_flat_par par) in
+        if dt < t_f.(i) then t_f.(i) <- dt;
+        warm_f.(i) <- r)
+      pars
+  done;
+  let steps_b = flat_steps_of run_boxed in
+  let col_b, rounds_b = col_boxed !warm_b in
+  let boxed_row =
+    { mode = "seq"; domains = 1; wall_s = !t_b; rounds = rounds_b;
+      steps = steps_b; ok = true }
+  in
+  let flat_rows =
+    List.mapi
+      (fun i par ->
+        let o_f = warm_f.(i) in
+        let steps_f = flat_steps_of (fun () -> run_flat_par par) in
+        {
+          mode =
+            (if par <= 1 then "flat:seq" else Printf.sprintf "flat:par:%d" par);
+          domains = (if par <= 1 then 1 else par);
+          wall_s = t_f.(i);
+          rounds = o_f.Flat.rounds;
+          steps = steps_f;
+          ok = Flat.column o_f ~slot:0 = col_b && o_f.Flat.rounds = rounds_b;
+        })
+      (Array.to_list pars)
+  in
+  boxed_row :: flat_rows
+
+let flat_kernel_json ~name ~n rows =
+  let seq_t = (List.find (fun r -> r.mode = "seq") rows).wall_s in
+  Json.Obj
+    [
+      ("kernel", Json.Str name);
+      ("n", Json.Num (float_of_int n));
+      ("deterministic", Json.Bool (List.for_all (fun r -> r.ok) rows));
+      ( "modes",
+        Json.Arr
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [
+                   ("mode", Json.Str r.mode);
+                   ("domains", Json.Num (float_of_int r.domains));
+                   ("wall_s", Json.Num r.wall_s);
+                   ("rounds", Json.Num (float_of_int r.rounds));
+                   ("steps", Json.Num (float_of_int r.steps));
+                   ( "speedup_vs_seq",
+                     Json.Num (if r.wall_s > 0. then seq_t /. r.wall_s else 0.)
+                   );
+                 ])
+             rows) );
+    ]
+
+let run_flat () =
+  let n = flat_bench_n () in
+  let seed = 71 in
+  Util.heading
+    (Printf.sprintf
+       "B11: flat state slabs + persistent domain team — boxed seq vs flat \
+        (n=%d)"
+       n);
+  let tree = Gen.random_tree ~n ~seed in
+  let sg = Semi_graph.of_graph tree in
+  let topo = Topology.compile sg in
+  let ids = Ids.permuted ~n ~seed:(seed + 8) in
+  (* best-of-5 even at full size: the arms are interleaved, so more reps
+     buy more quiet-window samples for every arm at once *)
+  let reps = 5 in
+  let max_rounds = n + 1 in
+  (* flood: boxed bool states vs flat slot-0 column *)
+  let boxed_flood () =
+    Engine.run_until_stable ~mode:Engine.Seq ~topo
+      ~init:(fun v -> v = 0)
+      ~step:(fun ~round:_ ~node:_ s ~neighbors ->
+        s || List.exists (fun (_, _, su) -> su) neighbors)
+      ~equal:Bool.equal ~max_rounds ()
+  in
+  let flood_kernel = Flat.Kernels.flood () in
+  let flat_flood par =
+    Flat.run_until_stable ~par ~topo ~kernel:flood_kernel ~max_rounds ()
+  in
+  (* greedy MIS by local id maximum: boxed int states vs flat column *)
+  let boxed_mis () =
+    Engine.run ~mode:Engine.Seq ~topo
+      ~init:(fun _ -> 0)
+      ~step:(fun ~round:_ ~node:v s ~neighbors ->
+        if s <> 0 then s
+        else if List.exists (fun (_, _, su) -> su = 1) neighbors then 2
+        else if
+          List.for_all
+            (fun (u, _, su) -> su <> 0 || ids.(u) < ids.(v))
+            neighbors
+        then 1
+        else 0)
+      ~halted:(fun s -> s <> 0)
+      ~max_rounds ()
+  in
+  let mis_kernel = Flat.Kernels.mis_local_max ~ids in
+  let flat_mis par = Flat.run ~par ~topo ~kernel:mis_kernel ~max_rounds () in
+  let kernels =
+    [
+      ( "flat-flood",
+        flat_kernel_rows ~reps ~run_boxed:boxed_flood
+          ~col_boxed:(fun o ->
+            (Array.map Bool.to_int o.Engine.states, o.Engine.rounds))
+          ~run_flat_par:flat_flood );
+      ( "flat-mis",
+        flat_kernel_rows ~reps ~run_boxed:boxed_mis
+          ~col_boxed:(fun o -> (o.Engine.states, o.Engine.rounds))
+          ~run_flat_par:flat_mis );
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (name, rows) ->
+        let seq_t = (List.find (fun r -> r.mode = "seq") rows).wall_s in
+        List.map
+          (fun r ->
+            [
+              name;
+              r.mode;
+              Util.i r.rounds;
+              Util.i r.steps;
+              Printf.sprintf "%.4f" r.wall_s;
+              Printf.sprintf "%.2fx"
+                (if r.wall_s > 0. then seq_t /. r.wall_s else 0.);
+              Util.pass_fail r.ok;
+            ])
+          rows)
+      kernels
+  in
+  Util.table
+    ~header:
+      [ "kernel"; "mode"; "rounds"; "steps"; "wall s"; "vs seq"; "identical" ]
+    rows;
+  (* acceptance: the flat path on the 4-wide team beats the boxed
+     sequential engine by >= 1.6x on both kernels *)
+  let speedup_ok =
+    List.for_all
+      (fun (_, rows) ->
+        let t m = (List.find (fun r -> r.mode = m) rows).wall_s in
+        t "flat:par:4" > 0. && t "seq" /. t "flat:par:4" >= 1.6)
+      kernels
+  in
+  Printf.printf "\nflat:par:4 >= 1.6x over boxed seq on both kernels: %s\n"
+    (Util.pass_fail speedup_ok);
+  (* allocation per step on the untraced flat:seq hot path: the state
+     slabs go straight to the major heap (>= 256 words), so the
+     bracketed minor-words delta is the per-round bookkeeping budget —
+     a handful of words for the whole run, orders of magnitude below
+     one word per step. *)
+  let flood_steps =
+    let rows = List.assoc "flat-flood" kernels in
+    (List.find (fun r -> r.mode = "flat:seq") rows).steps
+  in
+  ignore (flat_flood 1);
+  let w0 = Gc.minor_words () in
+  ignore (flat_flood 1);
+  let w1 = Gc.minor_words () in
+  let words_per_step =
+    if flood_steps > 0 then (w1 -. w0) /. float_of_int flood_steps else 0.
+  in
+  Printf.printf "flat:seq minor words/step: %.6f over %d steps (%s)\n"
+    words_per_step flood_steps
+    (Util.pass_fail (words_per_step < 0.01));
+  merge_into_engine_json ~file:"BENCH_engine.json"
+    (List.map (fun (name, rows) -> flat_kernel_json ~name ~n rows) kernels
+    @ [
+        Json.Obj
+          [
+            ("kernel", Json.Str "flat-alloc");
+            ("n", Json.Num (float_of_int n));
+            ("deterministic", Json.Bool true);
+            ( "modes",
+              Json.Arr
+                [
+                  Json.Obj
+                    [
+                      ("mode", Json.Str "flat:seq");
+                      ("domains", Json.Num 1.);
+                      ("wall_s", Json.Num words_per_step);
+                      ("rounds", Json.Num (float_of_int flood_steps));
+                    ];
+                ] );
+          ];
+      ]);
+  Printf.printf "merged flat-flood / flat-mis / flat-alloc into BENCH_engine.json\n"
 
 let run () =
   Util.heading "B1-B5: kernel wall-clock microbenchmarks (Bechamel)";

@@ -29,6 +29,7 @@ let experiments =
     ("B8", "sharded halo-exchange backend: seq vs shard:{2,4,8}", Kernel_bench.run_shard);
     ("B9", "serving daemon: closed-loop latency, cold vs warm cache", Serve_bench.run);
     ("B10", "tl_metrics overhead: flood with registry off vs on", Kernel_bench.run_metrics);
+    ("B11", "flat state slabs + domain team: boxed seq vs flat", Kernel_bench.run_flat);
   ]
 
 (* GC parameters as of process start.  The bechamel microbenches

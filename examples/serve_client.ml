@@ -30,6 +30,9 @@ let daemon_path () =
 
 let spec = P.Family { family = "random-tree"; n = 2000; seed = 42; a = 1; delta = 8 }
 
+(* pooled requests: pool:4 parks a 4-wide domain team in the daemon; the
+   two metrics scrapes bracketing them assert the team spawns once and
+   is reused for every later job (no per-request domain churn) *)
 let requests =
   [
     P.request_to_json
@@ -38,10 +41,28 @@ let requests =
       (P.request ~id:"warm" ~problem:"mis" ~spec ~want_span:false ());
     P.request_to_json
       (P.request ~id:"sharded" ~problem:"flood" ~spec ~engine:"shard:4"
-         ~shards:4 ~want_span:false ());
+         ~shards:4 ~pool:4 ~want_span:false ());
+    P.control_to_json ~id:"m1" P.Metrics;
+    (* fresh seeds: cache misses, so these really run pooled shard solves *)
+    P.request_to_json
+      (P.request ~id:"pool-a" ~problem:"flood"
+         ~spec:
+           (P.Family
+              { family = "random-tree"; n = 2500; seed = 7; a = 1; delta = 8 })
+         ~engine:"shard:4" ~shards:4 ~pool:4 ~want_span:false ());
+    P.request_to_json
+      (P.request ~id:"pool-b" ~problem:"mis"
+         ~spec:
+           (P.Family
+              { family = "random-tree"; n = 2500; seed = 9; a = 1; delta = 8 })
+         ~engine:"shard:2" ~shards:2 ~pool:4 ~want_span:false ());
+    P.control_to_json ~id:"m2" P.Metrics;
     P.control_to_json ~id:"st" P.Stats;
     P.control_to_json ~id:"bye" P.Shutdown;
   ]
+
+(* pool_spawns_total per metrics scrape, in arrival order *)
+let spawn_scrapes : (string * int) list ref = ref []
 
 let describe line =
   match P.response_of_json (Json.parse line) with
@@ -63,9 +84,20 @@ let describe line =
           | None -> ())
         [ "received"; "served"; "serve:cache_hit"; "topo:cache_hit" ];
       print_newline ()
-    | P.Metrics_report _ ->
-      Printf.printf "  %-8s metrics snapshot (see examples/metrics_smoke.ml)\n"
-        rid
+    | P.Metrics_report snap_json -> (
+      match Tl_obs.Metrics.snapshot_of_json snap_json with
+      | Error msg ->
+        Printf.printf "  %-8s metrics snapshot unparseable (%s)\n" rid msg
+      | Ok snap ->
+        let spawns =
+          match
+            List.assoc_opt "pool_spawns_total" snap.Tl_obs.Metrics.counters
+          with
+          | Some v -> v
+          | None -> 0
+        in
+        spawn_scrapes := !spawn_scrapes @ [ (rid, spawns) ];
+        Printf.printf "  %-8s metrics pool_spawns_total=%d\n" rid spawns)
     | P.Tail_report events ->
       Printf.printf "  %-8s flight-recorder tail: %d event(s)\n" rid
         (List.length events)
@@ -89,6 +121,16 @@ let () =
        describe (input_line inc)
      done
    with End_of_file -> ());
+  (* the pooled jobs between the scrapes must ride the already-parked
+     team: the spawn counter is non-zero after the first pool:4 job and
+     identical across both scrapes *)
+  (match !spawn_scrapes with
+  | [ (_, first); (_, second) ] ->
+    Printf.printf "pool-spawns first=%d second=%d stable=%b\n" first second
+      (first > 0 && first = second)
+  | scrapes ->
+    Printf.printf "pool-spawns stable=false (got %d scrape(s))\n"
+      (List.length scrapes));
   match Unix.close_process (inc, out) with
   | Unix.WEXITED 0 -> print_endline "daemon exited cleanly"
   | Unix.WEXITED c -> Printf.printf "daemon exited with %d\n" c

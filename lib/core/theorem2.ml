@@ -109,6 +109,10 @@ let run_inner ?(check_invariants = false) ?workers ?(rho = 2) ?k ~spec ~graph
   Span.with_span "stars" (fun () ->
       Span.add_counter "classes" (3 * b);
       Span.add_counter "pool:workers" (Pool.workers pool);
+      (* park the team members before the 6a per-class fan-outs: the
+         many small maps below then never pay a domain spawn (the old
+         per-map spawn discipline cost one spawn+join per class) *)
+      if Pool.workers pool > 1 then Pool.prewarm pool;
       for i = 1 to b do
         for j = 1 to 3 do
           let stars = Array.of_list (Arb_decompose.stars d ~i ~j) in

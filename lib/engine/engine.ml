@@ -11,15 +11,37 @@ let mode_to_string = function
   | Par p -> "par:" ^ string_of_int p
   | Shard s -> "shard:" ^ string_of_int s
 
+let is_digits s = s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s
+
 let count_suffix s prefix =
   let k = String.length prefix in
-  if String.length s > k && String.sub s 0 k = prefix then
-    match int_of_string_opt (String.sub s k (String.length s - k)) with
-    | Some p when p >= 1 -> Some p
-    | _ -> invalid_arg ("Engine.mode_of_string: " ^ s)
+  if String.length s >= k && String.sub s 0 k = prefix then begin
+    let rest = String.sub s k (String.length s - k) in
+    if not (is_digits rest) then
+      invalid_arg
+        (Printf.sprintf
+           "Engine.mode_of_string: %S — expected %s<count> where <count> is a \
+            decimal integer"
+           s prefix)
+    else
+      match int_of_string_opt rest with
+      | Some p when p >= 1 -> Some p
+      | Some _ ->
+        invalid_arg
+          (Printf.sprintf "Engine.mode_of_string: %S — count must be >= 1" s)
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Engine.mode_of_string: %S — count out of range" s)
+  end
   else None
 
 let mode_of_string s =
+  if String.trim s <> s then
+    invalid_arg
+      (Printf.sprintf
+         "Engine.mode_of_string: %S has surrounding whitespace (expected e.g. \
+          \"seq\" or \"par:4\")"
+         s);
   match s with
   | "naive" -> Naive
   | "seq" -> Seq
@@ -30,7 +52,12 @@ let mode_of_string s =
     | None -> (
       match count_suffix s "shard:" with
       | Some c -> Shard c
-      | None -> invalid_arg ("Engine.mode_of_string: " ^ s)))
+      | None ->
+        invalid_arg
+          (Printf.sprintf
+             "Engine.mode_of_string: %S — expected naive | seq | par:<n> | \
+              shard[:<n>]"
+             s)))
 
 let sched_to_string = function
   | Active_set -> "active-set"
@@ -297,26 +324,33 @@ let compute_range core step round lo hi =
     scratch.(v) <- step ~round ~node:v cur.(v) ~neighbors:!acc
   done
 
+(* Below this many active nodes *per chunk* a round computes inline even
+   in Par mode (i.e. the team is woken only when count > grain * p):
+   waking the team costs a barrier handshake plus scheduler latency,
+   which dwarfs the step work unless every worker gets a sizable chunk
+   (active-set runs spend most rounds on small frontiers). Chunking is
+   unaffected — inline vs. team never changes which state a node
+   computes, only which domain computes it — so the
+   bit-identical-to-Seq guarantee is preserved for every grain value.
+   Exposed for tests, which pin it to 0 to force the team on. *)
+let par_grain = ref 2048
+
 (* Compute phase. In Par mode the active array is cut into [p] fixed
-   contiguous chunks, one domain each: every active node is written by
+   contiguous chunks, one worker each: every active node is written by
    exactly one domain, all reads go to [cur] which no one writes during
-   the phase, and Domain.join orders the writes before the commit below —
-   so the result is bit-identical to Seq for any [p]. *)
+   the phase, and the team barrier orders the writes before the commit
+   below — so the result is bit-identical to Seq for any [p]. Workers
+   are parked team members (spawned once per process), not per-round
+   Domain.spawn. *)
 let compute core step round par =
   let count = core.n_active in
-  let p = max 1 (min par (min count 64)) in
-  if p = 1 then compute_range core step round 0 count
+  let p = max 1 (min par (min count Team.max_workers)) in
+  if p = 1 || count <= !par_grain * p then compute_range core step round 0 count
   else begin
     let chunk = (count + p - 1) / p in
-    let doms = ref [] in
-    for d = p - 1 downto 1 do
-      let lo = d * chunk and hi = min count ((d + 1) * chunk) in
-      if lo < hi then
-        doms := Domain.spawn (fun () -> compute_range core step round lo hi)
-                :: !doms
-    done;
-    compute_range core step round 0 (min chunk count);
-    List.iter Domain.join !doms
+    Team.run ~workers:p (fun w ->
+        let lo = w * chunk and hi = min count ((w + 1) * chunk) in
+        if lo < hi then compute_range core step round lo hi)
   end
 
 (* Commit phase (always sequential, O(active + changed * deg)): publish

@@ -15,10 +15,13 @@
       neighborhood changed in the previous round are re-stepped, so
       converged regions cost zero.
     - [Par p] — the [Seq] stepper with the per-round compute fanned out
-      over [p] OCaml 5 domains in fixed deterministic contiguous chunks
-      of the active array. Reads go to the current buffer only and every
-      active node is written by exactly one domain, so results are
-      bit-identical to [Seq] regardless of [p] or thread interleaving.
+      over [p] workers of the persistent domain {!Team} (spawned once
+      per process, parked on a barrier between rounds) in fixed
+      deterministic contiguous chunks of the active array. Reads go to
+      the current buffer only and every active node is written by
+      exactly one domain, so results are bit-identical to [Seq]
+      regardless of [p], the {!par_grain} inline threshold, or thread
+      interleaving.
     - [Shard s] — the sharded halo-exchange backend ({!Tl_shard.Shard}):
       the snapshot is partitioned into [s] contiguous shards with ghost
       (halo) copies of remote neighbors, and each round runs as
@@ -54,11 +57,26 @@ type scheduling =
   | Full_scan  (** re-step every present node every round *)
 
 val mode_to_string : mode -> string
+val sched_to_string : scheduling -> string
 
 val mode_of_string : string -> mode
 (** Parses ["naive"], ["seq"], ["par:N"], ["shard:N"] (N >= 1) and
     ["shard"] (shard count taken from {!default_shards} at parse time).
-    Raises [Invalid_argument] otherwise. *)
+    Raises [Invalid_argument] with a message naming the offending input
+    otherwise — including ["par:0"]/["shard:0"] (count must be >= 1),
+    non-digit or out-of-range counts, and strings with surrounding
+    whitespace (callers splitting config lines forget to trim; a silent
+    accept here would mask that). *)
+
+val par_grain : int ref
+(** Minimum active-set size {e per chunk} for a [Par] round to fan out
+    to the domain team: a round fans out only when
+    [count > par_grain * p], otherwise it computes inline on the calling
+    domain (the barrier handshake costs more than the step work unless
+    every worker gets a sizable chunk). Chunk assignment is a pure
+    function of the active count, so the grain never changes results —
+    only which domain computes them. Default [2048]; tests pin it to
+    [0] to force the team on. *)
 
 val default_mode : mode ref
 (** Mode used when a run does not specify one. [Seq] initially; the CLI's

@@ -4,19 +4,26 @@ let default_workers = ref 1
 
 (* Observation hook, owned by Tl_obs.Metrics (above this library in the
    DAG): called once per map on the coordinating domain, before any
-   worker is spawned. *)
+   worker runs. *)
 let tap : (tasks:int -> workers:int -> unit) option ref = ref None
 
 let create ?workers () =
   let w = match workers with Some w -> w | None -> !default_workers in
-  if w < 1 then invalid_arg "Pool.create: workers < 1";
-  { workers = min w 64 }
+  if w < 1 then
+    invalid_arg (Printf.sprintf "Pool.create: workers must be >= 1 (got %d)" w);
+  if w > Team.max_workers then
+    invalid_arg
+      (Printf.sprintf "Pool.create: workers must be <= %d (got %d)"
+         Team.max_workers w);
+  { workers = w }
 
 let workers t = t.workers
+let prewarm t = Team.prewarm t.workers
 
 (* One slot per task, written by exactly one domain (fixed chunking) and
-   read only after every domain joined — the join is the happens-before
-   edge publishing both the slots and any task-owned shared writes. *)
+   read only after the team barrier — the barrier's mutex handshake is
+   the happens-before edge publishing both the slots and any task-owned
+   shared writes. *)
 type 'b slot = Pending | Done of 'b | Raised of exn
 
 let map t ~tasks ~f =
@@ -27,20 +34,14 @@ let map t ~tasks ~f =
   else begin
     let slots = Array.make n Pending in
     let chunk = (n + p - 1) / p in
-    let run_chunk w =
-      let lo = w * chunk and hi = min n ((w + 1) * chunk) in
-      for i = lo to hi - 1 do
-        slots.(i) <-
-          (match f ~worker:w ~index:i tasks.(i) with
-          | r -> Done r
-          | exception e -> Raised e)
-      done
-    in
-    let doms =
-      List.init (p - 1) (fun d -> Domain.spawn (fun () -> run_chunk (d + 1)))
-    in
-    run_chunk 0;
-    List.iter Domain.join doms;
+    Team.run ~workers:p (fun w ->
+        let lo = w * chunk and hi = min n ((w + 1) * chunk) in
+        for i = lo to hi - 1 do
+          slots.(i) <-
+            (match f ~worker:w ~index:i tasks.(i) with
+            | r -> Done r
+            | exception e -> Raised e)
+        done);
     Array.mapi
       (fun i slot ->
         match slot with

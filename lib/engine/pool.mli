@@ -39,12 +39,19 @@ val default_workers : int ref
     (sequential everywhere unless opted in). *)
 
 val create : ?workers:int -> unit -> t
-(** [create ?workers ()] — a pool descriptor (no domains are kept alive
-    between calls; spawning is per {!map}). [workers] defaults to
-    [!default_workers], clamped to [[1, 64]]. Raises [Invalid_argument]
-    on [workers < 1]. *)
+(** [create ?workers ()] — a pool descriptor (the domains themselves are
+    owned by the process-wide {!Team} and shared between pools).
+    [workers] defaults to [!default_workers]. Raises [Invalid_argument]
+    with an explicit message when [workers] is outside [[1, 64]] — the
+    bound used to be a silent clamp, which hid typo'd [--pool 640] runs
+    behind plausible timings. *)
 
 val workers : t -> int
+
+val prewarm : t -> unit
+(** Spawn and park the team members {!map} would use, without running
+    any task — callers that benchmark or serve pay the one-time domain
+    spawn cost here instead of inside the first timed map. *)
 
 val map : t -> tasks:'a array -> f:(worker:int -> index:int -> 'a -> 'b) -> 'b array
 (** [map t ~tasks ~f] applies [f] to every task and returns the results
@@ -52,8 +59,9 @@ val map : t -> tasks:'a array -> f:(worker:int -> index:int -> 'a -> 'b) -> 'b a
     exactly [Array.mapi] on the current domain — the sequential
     reference path. Otherwise the task array is cut into
     [min (workers t) n] fixed contiguous chunks, chunk 0 runs on the
-    calling domain and each remaining chunk on a fresh domain; all
-    domains are joined before any result is observed. If one or more
+    calling domain and each remaining chunk on a parked {!Team} member
+    (spawned once per process, reused across maps); the team barrier
+    completes before any result is observed. If one or more
     tasks raised, the exception of the {e lowest-index} failing task is
     re-raised after the join (side effects of other tasks, including
     later-index ones, have already happened — callers that need

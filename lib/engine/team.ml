@@ -1,0 +1,136 @@
+let max_workers = 64
+
+(* All mutable team state lives under [mu]. Members park in
+   [member_loop], waiting for [epoch] to move past the last epoch they
+   completed; the coordinator publishes a job by installing [job]/[width]
+   and bumping [epoch] under the lock, then broadcasting. Every spawned
+   member decrements [remaining] exactly once per epoch (members whose
+   index is >= the job width wake, skip the work and decrement), so the
+   coordinator's wait for [remaining = 0] is a full barrier. *)
+let mu = Mutex.create ()
+let work_cv = Condition.create ()
+let done_cv = Condition.create ()
+let epoch = ref 0
+let job : (int -> unit) ref = ref (fun _ -> ())
+let width = ref 0
+let remaining = ref 0
+let stop = ref false
+let members = ref 0 (* parked member count; member indices are 1-based *)
+let doms : unit Domain.t list ref = ref []
+let errors : (int * exn) list ref = ref []
+let spawns_total = ref 0
+let tap : (spawned:int -> unit) option ref = ref None
+let exit_hooked = ref false
+
+(* Reentrancy / concurrency guard: the team serves one coordinator at a
+   time. [run] take-locks [busy]; if it is already held (a job's own code
+   called back into [run], or another domain raced us) the nested call
+   runs inline instead of parking on a barrier it would deadlock. *)
+let busy = Mutex.create ()
+
+let rec member_loop w last_epoch =
+  Mutex.lock mu;
+  while !epoch = last_epoch && not !stop do
+    Condition.wait work_cv mu
+  done;
+  if !stop then Mutex.unlock mu
+  else begin
+    let e = !epoch in
+    let f = !job and wd = !width in
+    Mutex.unlock mu;
+    let err = if w < wd then (try f w; None with ex -> Some ex) else None in
+    Mutex.lock mu;
+    (match err with Some ex -> errors := (w, ex) :: !errors | None -> ());
+    decr remaining;
+    if !remaining = 0 then Condition.broadcast done_cv;
+    Mutex.unlock mu;
+    member_loop w e
+  end
+
+let shutdown () =
+  Mutex.lock mu;
+  let ds = !doms in
+  doms := [];
+  members := 0;
+  if ds <> [] then begin
+    stop := true;
+    Condition.broadcast work_cv
+  end;
+  Mutex.unlock mu;
+  if ds <> [] then begin
+    List.iter Domain.join ds;
+    Mutex.lock mu;
+    stop := false;
+    Mutex.unlock mu
+  end
+
+(* Called with [mu] held. Spawns members [members+1 .. need]; each new
+   member is handed the current epoch so it parks until the next bump. *)
+let ensure_members need =
+  if !members < need then begin
+    let added = need - !members in
+    while !members < need do
+      let w = !members + 1 in
+      let e0 = !epoch in
+      doms := Domain.spawn (fun () -> member_loop w e0) :: !doms;
+      incr members;
+      incr spawns_total
+    done;
+    if not !exit_hooked then begin
+      exit_hooked := true;
+      at_exit shutdown
+    end;
+    match !tap with Some obs -> obs ~spawned:added | None -> ()
+  end
+
+let run_inline workers f =
+  for w = 0 to workers - 1 do
+    f w
+  done
+
+let run ~workers f =
+  let workers = min workers max_workers in
+  if workers <= 1 then f 0
+  else if not (Mutex.try_lock busy) then run_inline workers f
+  else
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock busy)
+      (fun () ->
+        Mutex.lock mu;
+        ensure_members (workers - 1);
+        job := f;
+        width := workers;
+        errors := [];
+        remaining := !members;
+        incr epoch;
+        Condition.broadcast work_cv;
+        Mutex.unlock mu;
+        let mine = try f 0; None with ex -> Some ex in
+        Mutex.lock mu;
+        while !remaining > 0 do
+          Condition.wait done_cv mu
+        done;
+        let errs = !errors in
+        errors := [];
+        job := (fun _ -> ());
+        Mutex.unlock mu;
+        let all = match mine with Some ex -> (0, ex) :: errs | None -> errs in
+        match List.sort (fun (a, _) (b, _) -> compare a b) all with
+        | [] -> ()
+        | (_, ex) :: _ -> raise ex)
+
+let prewarm w =
+  let w = min w max_workers in
+  if w > 1 && Mutex.try_lock busy then
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock busy)
+      (fun () ->
+        Mutex.lock mu;
+        ensure_members (w - 1);
+        Mutex.unlock mu)
+
+let spawns () =
+  Mutex.lock mu;
+  let s = !spawns_total in
+  Mutex.unlock mu;
+  s

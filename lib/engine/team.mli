@@ -1,0 +1,64 @@
+(** Persistent domain team: spawn once, park on a barrier, reuse.
+
+    OCaml 5 domains are heavyweight (each carries its own minor heap and
+    registers with the stop-the-world machinery), so the original
+    spawn-per-{!Pool.map} / spawn-per-round discipline paid a full domain
+    startup+teardown on every parallel phase — measurable as `par:{2,4}`
+    losing to `seq` outright in BENCH_engine.json. This module keeps the
+    workers alive between phases: members are spawned on first use, park
+    on a condition-variable barrier between jobs, and are woken per job
+    by an epoch bump under the team mutex.
+
+    Determinism contract (same as {!Pool}): a job is an array of worker
+    indices [0 .. workers-1]; which index runs which work item is decided
+    by the {e caller's} fixed chunking, never by timing. Index 0 always
+    runs on the calling domain. The mutex handshake (members observe the
+    epoch bump under the lock, the coordinator observes the last
+    decrement under the lock) is the happens-before edge publishing every
+    member write before {!run} returns — callers need no further
+    synchronization for worker-indexed scratch or disjoint slices.
+
+    Exception contract: if one or more indices raise, every member still
+    finishes its index (no member is left mid-job), and the exception of
+    the {e lowest} worker index is re-raised from {!run} — a pure
+    function of the job, not of scheduling order.
+
+    Reentrancy: {!run} from inside a running job (e.g. a pooled task that
+    itself asks for a parallel stepper) detects the live team via a
+    try-lock and runs all indices inline on the current domain instead of
+    deadlocking on the barrier. Nested parallelism therefore degrades to
+    sequential, deterministically. *)
+
+val max_workers : int
+(** Hard cap on [workers] accepted by {!run}: [64] (63 parked members +
+    the calling domain). Mirrors the {!Pool.create} bound. *)
+
+val run : workers:int -> (int -> unit) -> unit
+(** [run ~workers f] executes [f 0 .. f (workers-1)], index 0 on the
+    calling domain and the rest on parked team members (spawned on first
+    need, reused afterwards). Returns after {e every} index finished;
+    re-raises the lowest-index exception if any. [workers <= 1] calls
+    [f 0] directly with no synchronization at all. [workers] above
+    {!max_workers} is clamped. *)
+
+val prewarm : int -> unit
+(** [prewarm w] spawns and parks the members a [run ~workers:w] would
+    need, without running a job — callers that care about first-round
+    latency (benchmarks, the serving daemon) pay the spawn cost here
+    instead of inside the first timed region. *)
+
+val spawns : unit -> int
+(** Total domains ever spawned by the team in this process — the whole
+    point of the team is that this stays flat under load. Exposed to
+    metrics as [pool_spawns_total]. *)
+
+val tap : (spawned:int -> unit) option ref
+(** Observation hook: called (from the coordinating domain, under no
+    user-visible lock ordering guarantees) each time the team spawns new
+    member domains, with the number spawned. Owned by
+    [Tl_obs.Metrics.enable]; the callback must not raise. *)
+
+val shutdown : unit -> unit
+(** Stop and join every parked member (idempotent; a later {!run}
+    respawns on demand). Registered via [at_exit] on first spawn so a
+    process never hangs on parked domains. *)

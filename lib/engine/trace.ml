@@ -19,6 +19,7 @@ type t = {
   lbl : string;
   mutable mode : string;
   mutable scheduling : string;
+  mutable layout : string;
   mutable n_base : int;
   mutable n_present : int;
   mutable compile_s : float;
@@ -32,6 +33,7 @@ let create ?(label = "engine") () =
     lbl = label;
     mode = "?";
     scheduling = "?";
+    layout = "boxed";
     n_base = 0;
     n_present = 0;
     compile_s = 0.;
@@ -52,6 +54,8 @@ let set_meta t ~mode ~scheduling ~n_base ~n_present =
   t.n_base <- n_base;
   t.n_present <- n_present
 
+let layout t = t.layout
+let set_layout t l = t.layout <- l
 let set_compile_s t s = t.compile_s <- s
 let set_compile_cached t b = t.compile_cached <- b
 let compile_cached t = t.compile_cached
@@ -97,11 +101,13 @@ let json_escape s =
 let buf_json b t =
   let m = metrics t in
   Printf.bprintf b
-    "{\"label\":\"%s\",\"mode\":\"%s\",\"scheduling\":\"%s\",\"n_base\":%d,\
+    "{\"label\":\"%s\",\"mode\":\"%s\",\"scheduling\":\"%s\",\
+     \"layout\":\"%s\",\"n_base\":%d,\
      \"n_present\":%d,\"compile_s\":%.6f,\"compile_cached\":%b,\
      \"total_s\":%.6f,"
     (json_escape t.lbl) (json_escape t.mode) (json_escape t.scheduling)
-    t.n_base t.n_present t.compile_s t.compile_cached t.total_s;
+    (json_escape t.layout) t.n_base t.n_present t.compile_s t.compile_cached
+    t.total_s;
   Printf.bprintf b
     "\"metrics\":{\"rounds\":%d,\"steps\":%d,\"naive_steps\":%d,\
      \"step_savings\":%.4f,\"max_active\":%d},"

@@ -11,6 +11,7 @@
     {!to_json} serializes one run as:
     {v
     { "label": "runtime.run", "mode": "seq", "scheduling": "active-set",
+      "layout": "boxed",
       "n_base": 100000, "n_present": 100000,
       "compile_s": 0.0021, "compile_cached": false, "total_s": 0.1432,
       "metrics": { "rounds": 17, "steps": 634211, "naive_steps": 1700000,
@@ -56,6 +57,12 @@ val mode : t -> string
 (** Stepper mode as stamped by {!set_meta} (["?"] before the run). *)
 
 val scheduling : t -> string
+
+val layout : t -> string
+(** State representation of the run: ["boxed"] (the default — states are
+    ordinary OCaml values) or ["flat"] (int-slab states, {!Flat}).
+    Serialized as ["layout"]. *)
+
 val n_base : t -> int
 val n_present : t -> int
 
@@ -64,6 +71,7 @@ val n_present : t -> int
 val set_meta :
   t -> mode:string -> scheduling:string -> n_base:int -> n_present:int -> unit
 
+val set_layout : t -> string -> unit
 val set_compile_s : t -> float -> unit
 
 val set_compile_cached : t -> bool -> unit

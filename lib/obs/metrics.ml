@@ -489,7 +489,12 @@ let install_engine_hooks () =
       (fun ~tasks:n ~workers ->
         incr maps 1;
         incr tasks n;
-        gauge_max width workers)
+        gauge_max width workers);
+  (* Domain spawns are a liveness signal for the persistent team: under a
+     long-running server this counter should plateau at the team width
+     after warmup — a climbing value means per-job domain churn. *)
+  let spawned = counter "pool_spawns_total" in
+  Tl_engine.Team.tap := Some (fun ~spawned:n -> incr spawned n)
 
 let enable () =
   if not (Atomic.get on) then begin
@@ -500,4 +505,5 @@ let enable () =
 let disable () =
   Engine.metrics_sink := None;
   Pool.tap := None;
+  Tl_engine.Team.tap := None;
   Atomic.set on false

@@ -302,6 +302,9 @@ let prepare ~shards ~topo ~init =
   let ctxs = Array.map (fun sh -> make_ctx sh states) plan.Plan.shards in
   let pool = Pool.create () in
   let p_eff = min (Pool.workers pool) (Array.length ctxs) in
+  (* the per-round shard maps ride the persistent domain team; park the
+     members now so round 1 does not pay the one-time spawn *)
+  if p_eff > 1 then Pool.prewarm pool;
   (plan, plan_hit, states, ctxs, pool, p_eff)
 
 (* ---------- the three backend entry points ----------

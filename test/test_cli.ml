@@ -164,6 +164,14 @@ let test_knob_validation_usage_errors () =
   usage "--shards 0" "invalid shard count";
   usage "--pool 0" "invalid pool size";
   usage "--pool 100" "invalid pool size 100";
+  (* mode-string edge cases: zero counts, junk counts and surrounding
+     whitespace must all die as usage errors naming the input, not be
+     clamped or half-parsed *)
+  usage "--engine par:0" "invalid engine";
+  usage "--engine shard:0" "invalid engine";
+  usage "--engine par:+2" "invalid engine";
+  usage "--engine ' seq'" "invalid engine";
+  usage "--engine 'par: 2'" "invalid engine";
   usage "--engine shard --shards 50 --n 20"
     "shard count 50 exceeds the instance size n = 20";
   usage "--engine shard:50 --n 20" "shard count 50 exceeds";

@@ -444,17 +444,54 @@ let test_mode_strings () =
         (match Engine.mode_of_string s with
         | exception Invalid_argument _ -> true
         | _ -> false))
-    [ "par:0"; "par:x"; "threads"; "" ]
+    [
+      "par:0";
+      "par:x";
+      "threads";
+      "";
+      "shard:0";
+      "par:+2" (* int_of_string would take it; digits-only must not *);
+      " seq";
+      "seq ";
+      "par: 2";
+      "par:2 ";
+      "par:99999999999999999999" (* out of int range *);
+    ];
+  (* rejection messages name the offending input — callers surface them
+     verbatim as usage errors *)
+  (match Engine.mode_of_string "par:0" with
+  | exception Invalid_argument msg ->
+    check "par:0 message names the input" true
+      (let rec find i =
+         i + 7 <= String.length msg
+         && (String.sub msg i 7 = "\"par:0\"" || find (i + 1))
+       in
+       find 0)
+  | _ -> Alcotest.fail "par:0 must be rejected")
 
 (* ---------- Pool ---------- *)
 
 module Pool = Tl_engine.Pool
 
 let test_pool_create () =
-  (match Pool.create ~workers:0 () with
-  | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "expected Invalid_argument on 0 workers");
-  check_int "clamped to 64" 64 (Pool.workers (Pool.create ~workers:1000 ()));
+  let rejects label w =
+    match Pool.create ~workers:w () with
+    | exception Invalid_argument msg ->
+      check label true
+        (String.length msg > 0
+        && String.sub msg 0 (min 11 (String.length msg)) = "Pool.create")
+    | pool ->
+      Alcotest.fail
+        (Printf.sprintf "expected Invalid_argument on %d workers, got %d" w
+           (Pool.workers pool))
+  in
+  rejects "rejects 0 workers" 0;
+  rejects "rejects negative workers" (-3);
+  (* 65+ used to be silently clamped to 64 — a typo'd --pool 640 ran at
+     64 workers with plausible timings; now it is an explicit error *)
+  rejects "rejects 65 workers" 65;
+  rejects "rejects 1000 workers" 1000;
+  check_int "64 workers accepted" 64 (Pool.workers (Pool.create ~workers:64 ()));
   let saved = !Pool.default_workers in
   Pool.default_workers := 5;
   check_int "create () reads default_workers" 5 (Pool.workers (Pool.create ()));
@@ -504,6 +541,263 @@ let test_pool_commit_order () =
     ~commit:(fun ~index r -> order := (index, r) :: !order);
   check "commit in task order" true
     (List.rev !order = List.init 23 (fun i -> (i, i)))
+
+(* ---------- the persistent domain team ---------- *)
+
+module Team = Tl_engine.Team
+
+let test_team_coverage () =
+  List.iter
+    (fun w ->
+      let hits = Array.make (max 1 w) 0 in
+      Team.run ~workers:w (fun i -> hits.(i) <- hits.(i) + 1);
+      check
+        (Printf.sprintf "every index ran exactly once, workers=%d" w)
+        true
+        (Array.for_all (fun c -> c = 1) hits))
+    [ 1; 2; 3; 4; 8 ]
+
+let test_team_reuse () =
+  (* the whole point: domains are spawned once and parked, not respawned
+     per map / per round *)
+  Team.prewarm 4;
+  let s0 = Team.spawns () in
+  check "prewarm spawned the members" true (s0 >= 3);
+  for _ = 1 to 50 do
+    Team.run ~workers:4 (fun _ -> ())
+  done;
+  check_int "50 team runs spawn nothing new" s0 (Team.spawns ());
+  let pool = Pool.create ~workers:4 () in
+  let tasks = Array.init 100 Fun.id in
+  for _ = 1 to 10 do
+    ignore (Pool.map pool ~tasks ~f:(fun ~worker:_ ~index:_ x -> x + 1))
+  done;
+  check_int "pool maps ride the same parked team" s0 (Team.spawns ());
+  let saved = !Engine.par_grain in
+  Engine.par_grain := 0;
+  Fun.protect
+    ~finally:(fun () -> Engine.par_grain := saved)
+    (fun () ->
+      let topo = Topology.compile (Semi_graph.of_graph (Gen.path 200)) in
+      ignore
+        (Engine.run_until_stable ~mode:(Engine.Par 4) ~topo
+           ~init:(fun v -> v = 0)
+           ~step:flood_step ~equal:Bool.equal ~max_rounds:201 ()));
+  check_int "par rounds ride the same parked team" s0 (Team.spawns ())
+
+let test_team_exception_lowest_index () =
+  (* several workers raise; every member still finishes, and the lowest
+     worker index's exception is re-raised *)
+  match
+    Team.run ~workers:4 (fun w ->
+        if w = 3 then failwith "three";
+        if w = 1 then failwith "one")
+  with
+  | exception Failure msg -> check "lowest worker index wins" true (msg = "one")
+  | () -> Alcotest.fail "expected Failure"
+
+let test_team_reentrant_inline () =
+  (* a job calling back into the team (nested parallelism) must not
+     deadlock on the barrier: the nested run degrades to inline *)
+  let marks = Array.make 4 0 in
+  Team.run ~workers:2 (fun w ->
+      Team.run ~workers:2 (fun i -> marks.((w * 2) + i) <- 1));
+  check "nested run covered all indices" true
+    (Array.for_all (fun m -> m = 1) marks);
+  (* and the team still works afterwards *)
+  let hits = Array.make 3 0 in
+  Team.run ~workers:3 (fun i -> hits.(i) <- 1);
+  check "team alive after nested run" true (Array.for_all (fun m -> m = 1) hits)
+
+(* ---------- flat layout vs boxed reference ---------- *)
+
+module Flat = Tl_engine.Flat
+
+let with_par_grain g f =
+  let saved = !Engine.par_grain in
+  Engine.par_grain := g;
+  Fun.protect ~finally:(fun () -> Engine.par_grain := saved) f
+
+(* grain 0 forces even tiny qcheck instances through the team; the
+   default grain exercises the inline path. Results must not depend on
+   either knob. *)
+let flat_variants = [ (1, 2048); (1, 0); (2, 0); (3, 0); (4, 2048) ]
+
+let record_sig t =
+  List.map
+    (fun r -> (r.Trace.round, r.Trace.active, r.Trace.changed, r.Trace.unhalted))
+    (Trace.records t)
+
+let prop_flat_flood_differential =
+  QCheck.Test.make
+    ~name:"flat flood == boxed flood (states, rounds, traces)" ~count:40
+    QCheck.(triple (int_range 2 150) (int_range 0 100000) (int_range 0 3))
+    (fun (n, seed, pick) ->
+      let g = family ~n ~seed ~pick in
+      let topo = Topology.compile (Semi_graph.of_graph g) in
+      let mr = Graph.n_nodes g + 1 in
+      List.for_all
+        (fun sched ->
+          let boxed_tr = Trace.create () in
+          let boxed =
+            Engine.run_until_stable ~mode:Engine.Seq ~sched ~trace:boxed_tr
+              ~topo
+              ~init:(fun v -> v = 0)
+              ~step:flood_step ~equal:Bool.equal ~max_rounds:mr ()
+          in
+          let boxed_ints = Array.map Bool.to_int boxed.Engine.states in
+          List.for_all
+            (fun (par, grain) ->
+              with_par_grain grain (fun () ->
+                  let tr = Trace.create () in
+                  let o =
+                    Flat.run_until_stable ~par ~sched ~trace:tr ~topo
+                      ~kernel:(Flat.Kernels.flood ()) ~max_rounds:mr ()
+                  in
+                  o.Flat.rounds = boxed.Engine.rounds
+                  && Flat.column o ~slot:0 = boxed_ints
+                  && record_sig tr = record_sig boxed_tr
+                  && Trace.layout tr = "flat"))
+            flat_variants)
+        [ Engine.Active_set; Engine.Full_scan ])
+
+let prop_flat_mis_differential =
+  QCheck.Test.make ~name:"flat MIS == boxed MIS (run with halting)" ~count:40
+    QCheck.(triple (int_range 2 150) (int_range 0 100000) (int_range 0 3))
+    (fun (n, seed, pick) ->
+      let g = family ~n ~seed ~pick in
+      let n = Graph.n_nodes g in
+      let ids = Ids.permuted ~n ~seed:(seed + 3) in
+      let topo = Topology.compile (Semi_graph.of_graph g) in
+      let boxed_tr = Trace.create () in
+      let boxed =
+        Engine.run ~mode:Engine.Seq ~trace:boxed_tr ~topo
+          ~init:(fun _ -> 0)
+          ~step:(mis_step ids)
+          ~halted:(fun s -> s <> 0)
+          ~max_rounds:(n + 1) ()
+      in
+      List.for_all
+        (fun (par, grain) ->
+          with_par_grain grain (fun () ->
+              let tr = Trace.create () in
+              let o =
+                Flat.run ~par ~trace:tr ~topo
+                  ~kernel:(Flat.Kernels.mis_local_max ~ids)
+                  ~max_rounds:(n + 1) ()
+              in
+              o.Flat.rounds = boxed.Engine.rounds
+              && Flat.column o ~slot:0 = boxed.Engine.states
+              && record_sig tr = record_sig boxed_tr))
+        flat_variants)
+
+let prop_flat_run_rounds_differential =
+  QCheck.Test.make ~name:"flat run_rounds == boxed run_rounds" ~count:30
+    QCheck.(triple (int_range 2 120) (int_range 0 100000) (int_range 0 3))
+    (fun (n, seed, pick) ->
+      let g = family ~n ~seed ~pick in
+      let n = Graph.n_nodes g in
+      let ids = Ids.permuted ~n ~seed:(seed + 3) in
+      let topo = Topology.compile (Semi_graph.of_graph g) in
+      let r = 1 + (seed mod 4) in
+      let boxed =
+        Engine.run_rounds ~mode:Engine.Seq ~topo
+          ~init:(fun _ -> 0)
+          ~step:(mis_step ids) ~rounds:r ()
+      in
+      List.for_all
+        (fun (par, grain) ->
+          with_par_grain grain (fun () ->
+              let o =
+                Flat.run_rounds ~par ~topo
+                  ~kernel:(Flat.Kernels.mis_local_max ~ids)
+                  ~rounds:r ()
+              in
+              o.Flat.rounds = r && Flat.column o ~slot:0 = boxed.Engine.states))
+        flat_variants)
+
+let test_flat_failure_parity () =
+  let topo = Topology.compile (Semi_graph.of_graph (Gen.path 5)) in
+  (* frozen machine: active set drains with unhalted nodes left — flat
+     must fail fast with the byte-identical engine message *)
+  let frozen_kernel =
+    {
+      Flat.name = "frozen";
+      slots = 1;
+      scratch_words = 0;
+      init = (fun ~node:_ ~slot:_ -> 0);
+      step = (fun ctx ~scratch:_ ~round:_ ~node:v -> ctx.Flat.nxt.(v) <- 0);
+      halted = Some (fun _ ~node:_ -> false);
+    }
+  in
+  let boxed_frozen () =
+    Engine.run ~mode:Engine.Seq ~topo
+      ~init:(fun _ -> 0)
+      ~step:(fun ~round:_ ~node:_ s ~neighbors:_ -> s)
+      ~halted:(fun _ -> false)
+      ~max_rounds:10 ()
+  in
+  let flat_frozen () =
+    Flat.run ~topo ~kernel:frozen_kernel ~max_rounds:10 ()
+  in
+  let m_boxed = failure_message boxed_frozen in
+  check "boxed frozen raises" true (m_boxed <> None);
+  Alcotest.(check (option string))
+    "stall failure parity" m_boxed
+    (failure_message flat_frozen);
+  (* blinker: exhausts max_rounds in run_until_stable *)
+  let blinker_kernel =
+    {
+      Flat.name = "blinker";
+      slots = 1;
+      scratch_words = 0;
+      init = (fun ~node:_ ~slot:_ -> 0);
+      step =
+        (fun ctx ~scratch:_ ~round:_ ~node:v ->
+          ctx.Flat.nxt.(v) <- 1 - ctx.Flat.cur.(v));
+      halted = None;
+    }
+  in
+  let boxed_blinker () =
+    Engine.run_until_stable ~mode:Engine.Seq ~topo
+      ~init:(fun _ -> false)
+      ~step:(fun ~round:_ ~node:_ s ~neighbors:_ -> not s)
+      ~equal:Bool.equal ~max_rounds:7 ()
+  in
+  let flat_blinker () =
+    Flat.run_until_stable ~topo ~kernel:blinker_kernel ~max_rounds:7 ()
+  in
+  let m_boxed = failure_message boxed_blinker in
+  check "boxed blinker raises" true (m_boxed <> None);
+  Alcotest.(check (option string))
+    "max_rounds failure parity" m_boxed
+    (failure_message flat_blinker);
+  (* a kernel without a halting predicate cannot enter Flat.run *)
+  (match Flat.run ~topo ~kernel:blinker_kernel ~max_rounds:7 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument for halted-less kernel");
+  ()
+
+let test_flat_zero_alloc_per_step () =
+  (* the flat hot path must allocate nothing on the minor heap per step:
+     run flood down a long path (many rounds, tiny frontiers — the shape
+     that amplifies any per-round or per-step allocation) and bound the
+     whole run's minor-heap delta by a per-run constant. A 2-word leak
+     per round would show up as ~40k words here. *)
+  let n = 20_000 in
+  let topo = Topology.compile (Semi_graph.of_graph (Gen.path n)) in
+  let kernel = Flat.Kernels.flood () in
+  ignore (Flat.run_until_stable ~topo ~kernel ~max_rounds:(n + 1) ());
+  let w0 = Gc.minor_words () in
+  let o = Flat.run_until_stable ~topo ~kernel ~max_rounds:(n + 1) () in
+  let w1 = Gc.minor_words () in
+  check_int "flood covered the path" (n - 1) o.Flat.rounds;
+  check "flood reached every node" true
+    (Array.for_all (fun s -> s = 1) (Flat.column o ~slot:0));
+  let delta = w1 -. w0 in
+  check
+    (Printf.sprintf "per-run minor words bounded (got %.0f)" delta)
+    true (delta < 2048.)
 
 (* ---------- compile cache ---------- *)
 
@@ -642,6 +936,30 @@ let () =
           Alcotest.test_case "commit runs in task order" `Quick
             test_pool_commit_order;
         ] );
+      ( "team",
+        [
+          Alcotest.test_case "every index runs exactly once" `Quick
+            test_team_coverage;
+          Alcotest.test_case "domains parked and reused, never respawned"
+            `Quick test_team_reuse;
+          Alcotest.test_case "lowest-index exception wins" `Quick
+            test_team_exception_lowest_index;
+          Alcotest.test_case "reentrant run degrades to inline" `Quick
+            test_team_reentrant_inline;
+        ] );
+      ( "flat",
+        qsuite
+          [
+            prop_flat_flood_differential;
+            prop_flat_mis_differential;
+            prop_flat_run_rounds_differential;
+          ]
+        @ [
+            Alcotest.test_case "failure parity with the boxed engine" `Quick
+              test_flat_failure_parity;
+            Alcotest.test_case "zero minor-heap words per step" `Quick
+              test_flat_zero_alloc_per_step;
+          ] );
       ( "differential",
         qsuite
           [
