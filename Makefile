@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: build test bench bench-full bench-smoke serve-smoke metrics-smoke clean
+.PHONY: build test bench bench-full bench-smoke serve-smoke metrics-smoke proc-smoke clean
 
 build:
 	dune build
@@ -12,7 +12,7 @@ test:
 bench:
 	dune exec bench/main.exe
 
-EXPERIMENTS = E1-E3 E4-E5 E6 E7 E8 E9 E10 E11 E12 E13 E14 A B B6 B7 B8 B9 B10 B11
+EXPERIMENTS = E1-E3 E4-E5 E6 E7 E8 E9 E10 E11 E12 E13 E14 A B B6 B7 B8 B9 B10 B11 B12
 
 # Regenerate every committed bench artifact (BENCH_*.json, bench_csv/ +
 # MANIFEST.csv, bench_output.txt), one process per experiment.  The
@@ -41,6 +41,7 @@ bench-smoke:
 	TL_SHARD_BENCH_N=2000 dune exec bench/main.exe -- B8
 	TL_METRICS_BENCH_N=20000 dune exec bench/main.exe -- B10
 	TL_FLAT_BENCH_N=20000 dune exec bench/main.exe -- B11
+	TL_PROC_BENCH_N=20000 dune exec bench/main.exe -- B12
 	dune exec bench/regress.exe -- --tolerance 5.0 bench-baseline.json BENCH_engine.json
 	cp BENCH_serve.json serve-baseline.json
 	TL_SERVE_BENCH_N=2000 TL_SERVE_BENCH_R=20 dune exec bench/main.exe -- B9
@@ -74,6 +75,15 @@ metrics-smoke:
 	grep -q "PASS prometheus exposition well-formed" metrics_smoke.out
 	test "$$(grep -c FAIL metrics_smoke.out)" -eq 0
 	rm -f metrics_smoke.out
+
+# Process-backend smoke: proc:{1,2,4} digest-identical to seq (flood
+# and the full Theorem 12 MIS pipeline), worker crash containment
+# (Failure surfaces verbatim, no zombies), and the fork-after-domain
+# guard. Runs in its own process because OCaml 5 forbids fork once a
+# domain has spawned.
+proc-smoke:
+	dune build examples/proc_smoke.exe
+	dune exec --no-build examples/proc_smoke.exe
 
 clean:
 	dune clean

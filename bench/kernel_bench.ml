@@ -81,7 +81,7 @@ type mode_result = {
 }
 
 let mode_domains = function
-  | Engine.Naive | Engine.Seq | Engine.Shard _ -> 1
+  | Engine.Naive | Engine.Seq | Engine.Shard _ | Engine.Proc _ -> 1
   | Engine.Par p -> p
 
 (* Run [f], capturing total step executions through the trace sink. *)
@@ -1094,6 +1094,247 @@ let run_flat () =
           ];
       ]);
   Printf.printf "merged flat-flood / flat-mis / flat-alloc into BENCH_engine.json\n"
+
+(* ---------- B12: process-parallel shard backend (merges into BENCH_engine.json) ----------
+
+   Times the sequential stepper against the tl_proc backend — one shard
+   per forked Unix process, halos over socketpairs in the tlp binary
+   wire format — on flood and the greedy-MIS machine, with the in-process
+   shard:4 backend (pool=1) as the cache-blocking control: the delta
+   between shard:4 and proc:4 is what the processes add (isolation, the
+   wire, per-worker minor heaps) minus what they cost (fork, frame
+   traffic, coordinator barriers). The proc-flat rows run the flat
+   int-slab executor inside each worker — the configuration the backend
+   exists for. A "proc-alloc" pseudo-row records the scalar codec's
+   minor words per put+get pair (wall_s = words/op, exactly 0 in steady
+   state), so regress.exe gates allocation creep on the wire hot path
+   through its absolute floor.
+
+   CRITICAL ordering: every proc measurement runs before any mode that
+   can spawn a domain (shard, par, pool) — OCaml 5 forbids fork once a
+   domain has ever been spawned. For the same reason B12 skips itself
+   with a note when domains already exist in this process (a full-suite
+   `bench/main.exe` run after B6/B7): run it standalone, one process per
+   experiment, as `make bench-full` and CI do. Size is overridable via
+   TL_PROC_BENCH_N (CI smoke). *)
+
+module Proc = Tl_proc.Coordinator
+module Proc_wire = Tl_proc.Wire
+module Team = Tl_engine.Team
+
+let proc_bench_n () =
+  match Option.bind (Sys.getenv_opt "TL_PROC_BENCH_N") int_of_string_opt with
+  | Some n when n > 1 -> n
+  | _ -> 1_000_000
+
+(* Best-of-[reps] with the shard-plan and topology caches cleared before
+   every run (each mode pays its plan build cold, fork and prologue
+   shipping included) and an untimed pre-rep compaction, as in B8. *)
+let bench_proc_arm ~reps f =
+  let best = ref infinity and result = ref None in
+  for _ = 1 to reps do
+    Shard_plan.clear_cache ();
+    Topology.clear_cache ();
+    Gc.compact ();
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    result := Some r
+  done;
+  (Option.get !result, !best)
+
+let codec_words_per_op () =
+  let b = Bytes.create 16 in
+  Proc_wire.put_i64 b 0 42;
+  ignore (Proc_wire.get_i64 b 0);
+  let ops = 1_000_000 in
+  let w0 = Gc.minor_words () in
+  for i = 1 to ops do
+    Proc_wire.put_i64 b 0 (i * 1_000_003);
+    if Proc_wire.get_i64 b 0 <> i * 1_000_003 then assert false
+  done;
+  let dw = Gc.minor_words () -. w0 in
+  (* subtract nothing: the only allocation in the bracket is the
+     Gc.minor_words float box itself, under one word per thousand ops *)
+  (Float.max 0. (dw -. 8.) /. float_of_int ops, ops)
+
+let run_proc () =
+  let n = proc_bench_n () in
+  let seed = 71 in
+  Util.heading
+    (Printf.sprintf
+       "B12: process-parallel shard backend — seq vs shard:4 vs proc:{2,4} \
+        over the tlp wire (n=%d)"
+       n);
+  if Team.spawns () > 0 then
+    Printf.printf
+      "domains already spawned in this process — fork is unavailable, \
+       skipping B12\n\
+       (run it standalone: dune exec bench/main.exe -- B12)\n"
+  else begin
+    let tree = Gen.random_tree ~n ~seed in
+    let sg = Semi_graph.of_graph tree in
+    let topo = Topology.compile sg in
+    let ids = Ids.permuted ~n ~seed:79 in
+    let max_rounds = n + 1 in
+    let reps = if n >= 500_000 then 1 else 2 in
+    let flood mode =
+      let o =
+        Engine.run_until_stable ~mode ~topo
+          ~init:(fun v -> v = 0)
+          ~step:(fun ~round:_ ~node:_ s ~neighbors ->
+            s || List.exists (fun (_, _, su) -> su) neighbors)
+          ~equal:Bool.equal ~max_rounds ()
+      in
+      (Array.map Bool.to_int o.Engine.states, o.Engine.rounds)
+    in
+    let mis mode =
+      let o =
+        Engine.run ~mode ~topo
+          ~init:(fun _ -> 0)
+          ~step:(fun ~round:_ ~node:v s ~neighbors ->
+            if s <> 0 then s
+            else if List.exists (fun (_, _, su) -> su = 1) neighbors then 2
+            else if
+              List.for_all
+                (fun (u, _, su) -> su <> 0 || ids.(u) < ids.(v))
+                neighbors
+            then 1
+            else 0)
+          ~halted:(fun s -> s <> 0)
+          ~max_rounds ()
+      in
+      (o.Engine.states, o.Engine.rounds)
+    in
+    let flat_flood procs () =
+      let o =
+        Proc.run_flat_until_stable ~procs ~topo
+          ~kernel_for:(Proc.Kernels.flood ()) ~max_rounds ()
+      in
+      (Flat.column o ~slot:0, o.Flat.rounds)
+    in
+    let flat_mis procs () =
+      let o =
+        Proc.run_flat ~procs ~topo
+          ~kernel_for:(Proc.Kernels.mis_local_max ~ids)
+          ~max_rounds ()
+      in
+      (Flat.column o ~slot:0, o.Flat.rounds)
+    in
+    (* 1. every proc arm, before anything can spawn a domain *)
+    let proc_arms kernel flat =
+      List.map
+        (fun (mode_name, f) -> (mode_name, bench_proc_arm ~reps f))
+        [
+          ("proc:2", fun () -> kernel (Engine.Proc 2));
+          ("proc:4", fun () -> kernel (Engine.Proc 4));
+          ("proc-flat:4", flat 4);
+        ]
+    in
+    let flood_proc = proc_arms flood flat_flood in
+    let mis_proc = proc_arms mis flat_mis in
+    (* 2. the in-process references (seq, then shard:4 — the latter may
+       spawn the domain team even at pool width 1) *)
+    let flood_seq = bench_proc_arm ~reps (fun () -> flood Engine.Seq) in
+    let mis_seq = bench_proc_arm ~reps (fun () -> mis Engine.Seq) in
+    let shard_arm kernel =
+      let saved = !Pool.default_workers in
+      Pool.default_workers := 1;
+      Fun.protect
+        ~finally:(fun () -> Pool.default_workers := saved)
+        (fun () -> bench_proc_arm ~reps (fun () -> kernel (Engine.Shard 4)))
+    in
+    let flood_shard = shard_arm flood in
+    let mis_shard = shard_arm mis in
+    let rows_of (seq_r, seq_t) shard arms =
+      { mode = "seq"; domains = 1; wall_s = seq_t; rounds = snd seq_r;
+        steps = 0; ok = true }
+      :: (let r, t = shard in
+          { mode = "shard:4"; domains = 1; wall_s = t; rounds = snd r;
+            steps = 0; ok = r = seq_r })
+      :: List.map
+           (fun (mode, (r, t)) ->
+             { mode; domains = 4; wall_s = t; rounds = snd r; steps = 0;
+               ok = r = seq_r })
+           arms
+    in
+    let kernels =
+      [
+        ("proc-flood.0", n, rows_of flood_seq flood_shard flood_proc);
+        ("proc-mis.0", n, rows_of mis_seq mis_shard mis_proc);
+      ]
+    in
+    let rows =
+      List.concat_map
+        (fun (name, n, results) ->
+          let seq_t = (List.find (fun r -> r.mode = "seq") results).wall_s in
+          List.map
+            (fun r ->
+              [
+                name;
+                Util.i n;
+                r.mode;
+                Util.i r.rounds;
+                Printf.sprintf "%.4f" r.wall_s;
+                Printf.sprintf "%.2fx"
+                  (if r.wall_s > 0. then seq_t /. r.wall_s else 0.);
+                Util.pass_fail r.ok;
+              ])
+            results)
+        kernels
+    in
+    Util.table
+      ~header:[ "kernel"; "n"; "mode"; "rounds"; "wall s"; "vs seq"; "identical" ]
+      rows;
+    let best =
+      List.fold_left
+        (fun acc (_, _, results) ->
+          let seq_t = (List.find (fun r -> r.mode = "seq") results).wall_s in
+          List.fold_left
+            (fun acc r ->
+              if String.length r.mode >= 4 && String.sub r.mode 0 4 = "proc"
+                 && r.wall_s > 0.
+              then max acc (seq_t /. r.wall_s)
+              else acc)
+            acc results)
+        0. kernels
+    in
+    Printf.printf
+      "\nbest proc arm over seq: %.2fx — proc backend >= 1.0x on flood or \
+       MIS: %s\n"
+      best
+      (Util.pass_fail (best >= 1.0));
+    let words_per_op, ops = codec_words_per_op () in
+    Printf.printf "wire codec minor words/op: %.6f over %d ops (%s)\n"
+      words_per_op ops
+      (Util.pass_fail (words_per_op < 0.01));
+    merge_into_engine_json ~file:"BENCH_engine.json"
+      (List.map
+         (fun (name, n, results) -> shard_kernel_json ~name ~n results)
+         kernels
+      @ [
+          Json.Obj
+            [
+              ("kernel", Json.Str "proc-alloc");
+              ("n", Json.Num (float_of_int n));
+              ("deterministic", Json.Bool true);
+              ( "modes",
+                Json.Arr
+                  [
+                    Json.Obj
+                      [
+                        ("mode", Json.Str "codec");
+                        ("domains", Json.Num 1.);
+                        ("wall_s", Json.Num words_per_op);
+                        ("rounds", Json.Num (float_of_int ops));
+                      ];
+                  ] );
+            ];
+        ]);
+    Printf.printf
+      "merged proc-flood / proc-mis / proc-alloc into BENCH_engine.json\n"
+  end
 
 let run () =
   Util.heading "B1-B5: kernel wall-clock microbenchmarks (Bechamel)";

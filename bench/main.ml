@@ -30,6 +30,11 @@ let experiments =
     ("B9", "serving daemon: closed-loop latency, cold vs warm cache", Serve_bench.run);
     ("B10", "tl_metrics overhead: flood with registry off vs on", Kernel_bench.run_metrics);
     ("B11", "flat state slabs + domain team: boxed seq vs flat", Kernel_bench.run_flat);
+    (* B12 forks worker processes, which OCaml 5 forbids after any domain
+       spawn: it self-skips in a full-suite single-process run (after
+       B6/B7 spawned the team) and is meant to run standalone, one
+       process per experiment, as `make bench-full` and CI do. *)
+    ("B12", "process backend: seq vs shard:4 vs proc:{2,4} over the tlp wire", Kernel_bench.run_proc);
   ]
 
 (* GC parameters as of process start.  The bechamel microbenches

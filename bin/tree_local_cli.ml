@@ -58,9 +58,12 @@ let engine_arg =
     "Execution engine: naive (the legacy full-scan reference stepper), \
      seq (compiled topology + active-set scheduler, the default), \
      par:N (the same stepper with the per-round compute spread over N \
-     OCaml domains), or shard / shard:S (sharded halo-exchange backend; \
-     the shard count comes from $(b,--shards) unless given inline). All \
-     modes are deterministic and bit-identical."
+     OCaml domains), shard / shard:S (sharded halo-exchange backend; \
+     the shard count comes from $(b,--shards) unless given inline), or \
+     proc / proc:S (one worker process per shard, halos over the tlp \
+     binary wire protocol; run proc work before any par/shard run — \
+     OCaml forbids forking after domains exist). All modes are \
+     deterministic and bit-identical."
   in
   let mode =
     let parse s =
@@ -70,8 +73,8 @@ let engine_arg =
         Error
           (`Msg
             (Printf.sprintf
-               "invalid engine %S (expected naive, seq, par:N, shard or \
-                shard:S)"
+               "invalid engine %S (expected naive, seq, par:N, shard, \
+                shard:S, proc or proc:S)"
                s))
     in
     Arg.conv (parse, Format.pp_print_string)
@@ -569,11 +572,30 @@ let client socket cmd format problem method_ family n seed a delta k engine
       (Unix.error_message e);
     exit 1
   | () ->
-    let out = Unix.out_channel_of_descr fd in
-    let inc = Unix.in_channel_of_descr fd in
-    output_string out (Json.to_line req);
-    flush out;
-    (match input_line inc with
+    let module T = Tl_proc.Transport in
+    (* transport loops: the request survives partial writes, the
+       response read restarts on EINTR *)
+    T.write_string fd (Json.to_line req);
+    let read_line () =
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec go () =
+        let n = T.read_some fd chunk 0 (Bytes.length chunk) in
+        if n = 0 then
+          if Buffer.length buf = 0 then raise End_of_file
+          else Buffer.contents buf
+        else
+          match Bytes.index_opt (Bytes.sub chunk 0 n) '\n' with
+          | Some i ->
+            Buffer.add_subbytes buf chunk 0 i;
+            Buffer.contents buf
+          | None ->
+            Buffer.add_subbytes buf chunk 0 n;
+            go ()
+      in
+      go ()
+    in
+    (match read_line () with
     | exception End_of_file ->
       Printf.eprintf "client: daemon closed the connection\n";
       exit 1

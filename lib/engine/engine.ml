@@ -1,15 +1,17 @@
 module Semi_graph = Tl_graph.Semi_graph
 
-type mode = Naive | Seq | Par of int | Shard of int
+type mode = Naive | Seq | Par of int | Shard of int | Proc of int
 type scheduling = Active_set | Full_scan
 
 let default_shards = ref 4
+let default_procs = ref 4
 
 let mode_to_string = function
   | Naive -> "naive"
   | Seq -> "seq"
   | Par p -> "par:" ^ string_of_int p
   | Shard s -> "shard:" ^ string_of_int s
+  | Proc p -> "proc:" ^ string_of_int p
 
 let is_digits s = s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s
 
@@ -46,18 +48,22 @@ let mode_of_string s =
   | "naive" -> Naive
   | "seq" -> Seq
   | "shard" -> Shard (max 1 !default_shards)
+  | "proc" -> Proc (max 1 !default_procs)
   | _ -> (
     match count_suffix s "par:" with
     | Some p -> Par p
     | None -> (
       match count_suffix s "shard:" with
       | Some c -> Shard c
-      | None ->
-        invalid_arg
-          (Printf.sprintf
-             "Engine.mode_of_string: %S — expected naive | seq | par:<n> | \
-              shard[:<n>]"
-             s)))
+      | None -> (
+        match count_suffix s "proc:" with
+        | Some c -> Proc c
+        | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Engine.mode_of_string: %S — expected naive | seq | par:<n> | \
+                shard[:<n>] | proc[:<n>]"
+               s))))
 
 let sched_to_string = function
   | Active_set -> "active-set"
@@ -128,6 +134,55 @@ let get_shard_backend () =
   | None ->
     failwith
       "Engine: shard mode requested but the tl_shard backend is not linked"
+
+(* The Proc mode's implementation lives in tl_proc (one shard per Unix
+   process, halos over socketpairs) and registers itself here the same
+   way the shard backend does. Same rank-2 field shapes. *)
+type proc_backend = {
+  pb_run :
+    'state.
+    procs:int ->
+    sched:scheduling ->
+    equal:('state -> 'state -> bool) ->
+    trace:Trace.t option ->
+    topo:Topology.t ->
+    init:(int -> 'state) ->
+    step:'state step_fn ->
+    halted:('state -> bool) ->
+    max_rounds:int ->
+    'state outcome;
+  pb_run_until_stable :
+    'state.
+    procs:int ->
+    sched:scheduling ->
+    equal:('state -> 'state -> bool) ->
+    trace:Trace.t option ->
+    topo:Topology.t ->
+    init:(int -> 'state) ->
+    step:'state step_fn ->
+    max_rounds:int ->
+    'state outcome;
+  pb_run_rounds :
+    'state.
+    procs:int ->
+    sched:scheduling ->
+    equal:('state -> 'state -> bool) ->
+    trace:Trace.t option ->
+    topo:Topology.t ->
+    init:(int -> 'state) ->
+    step:'state step_fn ->
+    rounds:int ->
+    'state outcome;
+}
+
+let proc_backend : proc_backend option ref = ref None
+
+let get_proc_backend () =
+  match !proc_backend with
+  | Some b -> b
+  | None ->
+    failwith
+      "Engine: proc mode requested but the tl_proc backend is not linked"
 
 let now = Unix.gettimeofday
 
@@ -506,7 +561,9 @@ let engine_run_rounds ~par ~sched ~equal ~tr ~topo ~init ~step ~rounds:total =
 
 (* ---------- public API ---------- *)
 
-let par_of = function Naive | Seq | Shard _ -> 1 | Par p -> max 1 p
+let par_of = function
+  | Naive | Seq | Shard _ | Proc _ -> 1
+  | Par p -> max 1 p
 
 let run ?mode ?(sched = Active_set) ?(equal = Stdlib.( = )) ?trace
     ?(label = "engine.run") ?(compile_s = 0.) ?(compile_cached = false) ~topo
@@ -518,6 +575,9 @@ let run ?mode ?(sched = Active_set) ?(equal = Stdlib.( = )) ?trace
       | Naive -> naive_run ~tr ~topo ~init ~step ~halted ~max_rounds
       | Shard s ->
         (get_shard_backend ()).sb_run ~shards:s ~sched ~equal ~trace:tr ~topo
+          ~init ~step ~halted ~max_rounds
+      | Proc p ->
+        (get_proc_backend ()).pb_run ~procs:p ~sched ~equal ~trace:tr ~topo
           ~init ~step ~halted ~max_rounds
       | Seq | Par _ ->
         engine_run ~par:(par_of mode) ~sched ~equal ~tr ~topo ~init ~step
@@ -534,6 +594,9 @@ let run_until_stable ?mode ?(sched = Active_set) ?trace
       | Shard s ->
         (get_shard_backend ()).sb_run_until_stable ~shards:s ~sched ~equal
           ~trace:tr ~topo ~init ~step ~max_rounds
+      | Proc p ->
+        (get_proc_backend ()).pb_run_until_stable ~procs:p ~sched ~equal
+          ~trace:tr ~topo ~init ~step ~max_rounds
       | Seq | Par _ ->
         engine_run_until_stable ~par:(par_of mode) ~sched ~equal ~tr ~topo
           ~init ~step ~max_rounds)
@@ -548,6 +611,9 @@ let run_rounds ?mode ?(sched = Active_set) ?(equal = Stdlib.( = )) ?trace
       | Naive -> naive_run_rounds ~tr ~topo ~init ~step ~rounds
       | Shard s ->
         (get_shard_backend ()).sb_run_rounds ~shards:s ~sched ~equal ~trace:tr
+          ~topo ~init ~step ~rounds
+      | Proc p ->
+        (get_proc_backend ()).pb_run_rounds ~procs:p ~sched ~equal ~trace:tr
           ~topo ~init ~step ~rounds
       | Seq | Par _ ->
         engine_run_rounds ~par:(par_of mode) ~sched ~equal ~tr ~topo ~init

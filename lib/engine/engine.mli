@@ -30,6 +30,14 @@
       itself through {!shard_backend}; running in [Shard] mode without
       that library linked raises [Failure]. Bit-identical to [Seq] under
       the same stationarity contract.
+    - [Proc p] — the process-parallel distributed backend
+      ([Tl_proc.Coordinator]): the same shard [Plan] geometry, but one
+      Unix process per shard, halos exchanged over socketpairs in a
+      length-prefixed binary wire format and termination decided by a
+      [changed]-count allreduce over a collective tree. Registers
+      through {!proc_backend}; running in [Proc] mode without [tl_proc]
+      linked raises [Failure]. Bit-identical to [Seq] under the same
+      stationarity contract.
 
     {2 Determinism guarantee}
 
@@ -50,7 +58,7 @@
     machine can then never halt — the naive stepper would spin to
     [max_rounds] and raise the same way). *)
 
-type mode = Naive | Seq | Par of int | Shard of int
+type mode = Naive | Seq | Par of int | Shard of int | Proc of int
 
 type scheduling =
   | Active_set  (** re-step only nodes with a changed 1-hop neighborhood *)
@@ -60,13 +68,14 @@ val mode_to_string : mode -> string
 val sched_to_string : scheduling -> string
 
 val mode_of_string : string -> mode
-(** Parses ["naive"], ["seq"], ["par:N"], ["shard:N"] (N >= 1) and
-    ["shard"] (shard count taken from {!default_shards} at parse time).
+(** Parses ["naive"], ["seq"], ["par:N"], ["shard:N"], ["proc:N"]
+    (N >= 1), ["shard"] (shard count taken from {!default_shards} at
+    parse time) and ["proc"] (process count from {!default_procs}).
     Raises [Invalid_argument] with a message naming the offending input
-    otherwise — including ["par:0"]/["shard:0"] (count must be >= 1),
-    non-digit or out-of-range counts, and strings with surrounding
-    whitespace (callers splitting config lines forget to trim; a silent
-    accept here would mask that). *)
+    otherwise — including ["par:0"]/["shard:0"]/["proc:0"] (count must
+    be >= 1), non-digit or out-of-range counts, and strings with
+    surrounding whitespace (callers splitting config lines forget to
+    trim; a silent accept here would mask that). *)
 
 val par_grain : int ref
 (** Minimum active-set size {e per chunk} for a [Par] round to fan out
@@ -86,6 +95,10 @@ val default_mode : mode ref
 val default_shards : int ref
 (** Shard count used when a mode string says just ["shard"] — the CLI's
     [--shards N] flag sets this once at startup. Defaults to [4]. *)
+
+val default_procs : int ref
+(** Worker-process count used when a mode string says just ["proc"].
+    Defaults to [4]. *)
 
 val trace_sink : (Trace.t -> unit) option ref
 (** When set, every engine run reports its trace here (creating an
@@ -162,6 +175,53 @@ type shard_backend = {
 
 val shard_backend : shard_backend option ref
 (** Set by [Tl_shard.Shard] at load time. [Shard]-mode runs raise
+    [Failure] while this is [None]. *)
+
+(** {2 Proc backend hook}
+
+    Same plug-in shape as {!shard_backend}, for the process-parallel
+    backend in [tl_proc]. Field names are prefixed [pb_] and the count
+    argument is [procs] (one worker process per shard). *)
+
+type proc_backend = {
+  pb_run :
+    'state.
+    procs:int ->
+    sched:scheduling ->
+    equal:('state -> 'state -> bool) ->
+    trace:Trace.t option ->
+    topo:Topology.t ->
+    init:(int -> 'state) ->
+    step:'state step_fn ->
+    halted:('state -> bool) ->
+    max_rounds:int ->
+    'state outcome;
+  pb_run_until_stable :
+    'state.
+    procs:int ->
+    sched:scheduling ->
+    equal:('state -> 'state -> bool) ->
+    trace:Trace.t option ->
+    topo:Topology.t ->
+    init:(int -> 'state) ->
+    step:'state step_fn ->
+    max_rounds:int ->
+    'state outcome;
+  pb_run_rounds :
+    'state.
+    procs:int ->
+    sched:scheduling ->
+    equal:('state -> 'state -> bool) ->
+    trace:Trace.t option ->
+    topo:Topology.t ->
+    init:(int -> 'state) ->
+    step:'state step_fn ->
+    rounds:int ->
+    'state outcome;
+}
+
+val proc_backend : proc_backend option ref
+(** Set by [Tl_proc.Coordinator] at load time. [Proc]-mode runs raise
     [Failure] while this is [None]. *)
 
 val run :

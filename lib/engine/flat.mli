@@ -69,6 +69,12 @@ type kernel = {
 
 type outcome = { slab : int array; slots : int; rounds : int }
 
+val words_differ : int array -> int array -> int -> int -> int -> bool
+(** [words_differ cur nxt base i slots]: do the two slabs disagree
+    anywhere in [base+i .. base+slots)? The commit primitive — exposed
+    for out-of-process executors that replay the flat commit
+    discipline over a shard-local slab. *)
+
 val read : outcome -> node:int -> slot:int -> int
 (** [slab.(node * slots + slot)]. *)
 

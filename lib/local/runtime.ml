@@ -13,6 +13,10 @@ module Span = Tl_obs.Span
    [Shard] mode. *)
 let () = Tl_shard.Shard.register ()
 
+(* Same force-link for the process backend: Tl_proc registers itself
+   into Engine.proc_backend at module initialization. *)
+let () = Tl_proc.Coordinator.register ()
+
 type 'state outcome = { states : 'state array; rounds : int }
 
 (* Compiles through the topology cache: repeated phases over the same

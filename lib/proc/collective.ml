@@ -1,0 +1,50 @@
+type shape = Nary of int | Binomial
+
+let shape_of_env () =
+  match Sys.getenv_opt "TL_PROC_FANOUT" with
+  | None | Some "" | Some "binomial" -> Binomial
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some f when f >= 1 -> Nary f
+    | _ ->
+      invalid_arg
+        (Printf.sprintf
+           "TL_PROC_FANOUT=%S — expected a fanout >= 1 or \"binomial\"" s))
+
+let shape_to_string = function
+  | Binomial -> "binomial"
+  | Nary f -> Printf.sprintf "nary:%d" f
+
+let code_of_shape = function Binomial -> 0 | Nary f -> f
+
+let shape_of_code = function
+  | 0 -> Binomial
+  | f when f >= 1 -> Nary f
+  | c -> invalid_arg (Printf.sprintf "Collective.shape_of_code: %d" c)
+
+let parent shape r =
+  if r <= 0 then -1
+  else
+    match shape with
+    | Nary f -> (r - 1) / f
+    | Binomial -> r land (r - 1)
+
+let children shape ~size r =
+  match shape with
+  | Nary f ->
+    let rec go k acc =
+      if k < 1 then acc
+      else
+        let c = (f * r) + k in
+        go (k - 1) (if c < size then c :: acc else acc)
+    in
+    go f []
+  | Binomial ->
+    (* children are r + 2^k for 2^k below r's lowest set bit (every
+       power of two for the root), ascending *)
+    let lim = if r = 0 then size else r land -r in
+    let rec go bit acc =
+      if bit >= lim || r + bit >= size then List.rev acc
+      else go (bit * 2) ((r + bit) :: acc)
+    in
+    go 1 []

@@ -1,0 +1,33 @@
+(** Collective-tree geometry for the process backend's barrier/allreduce.
+
+    Pure arithmetic over worker ranks [0 .. size), rooted at rank 0 —
+    the GASNet-style fanout-parameterized tree family: the stats
+    allreduce flows leaves → root along [parent] edges and the
+    coordinator's decision broadcast flows root → leaves along
+    [children] edges. Both shapes give every rank exactly one parent
+    (except 0) and visit every rank exactly once, for any [size]. *)
+
+type shape =
+  | Nary of int  (** children of [r] are [f*r+1 .. f*r+f]; [f >= 1] *)
+  | Binomial
+      (** parent of [r] clears its lowest set bit; children of [r] are
+          [r + 2^k] below the lowest set bit — latency-optimal
+          log2-depth dissemination *)
+
+val shape_of_env : unit -> shape
+(** [TL_PROC_FANOUT]: an integer [f >= 1] selects [Nary f],
+    ["binomial"] (or unset) selects [Binomial]. Anything else raises
+    [Invalid_argument]. *)
+
+val shape_to_string : shape -> string
+
+val code_of_shape : shape -> int
+(** Wire code: [0] for [Binomial], [f] for [Nary f]. *)
+
+val shape_of_code : int -> shape
+
+val parent : shape -> int -> int
+(** [-1] for the root. *)
+
+val children : shape -> size:int -> int -> int list
+(** Ascending. *)

@@ -1,0 +1,691 @@
+(* The coordinator side of the process backend.
+
+   Forks one worker process per shard, ships each its Plan sub-CSR once
+   via the prologue frame, then drives rounds from the stats totals the
+   collective tree delivers: decision down (step / stop), local step +
+   halo exchange in the workers, stats allreduce up. The decision loops
+   replicate shard.ml's sb_* drivers (themselves mirrors of the Seq
+   stepper) so labelings, round counts, trace records and failure
+   messages are bit-identical for any (procs, shards).
+
+   Worker lifecycle is owned here: a Fun.protect finally reaps every
+   child on every exit path — orderly completion, max_rounds failure,
+   worker crash, coordinator exception — so no run leaves zombies, and
+   an abnormal worker exit surfaces as Proc_failure with the wait
+   status. *)
+
+module Engine = Tl_engine.Engine
+module Flat = Tl_engine.Flat
+module Topology = Tl_engine.Topology
+module Trace = Tl_engine.Trace
+module Team = Tl_engine.Team
+module Plan = Tl_shard.Plan
+module Span = Tl_obs.Span
+module Metrics = Tl_obs.Metrics
+
+let now = Unix.gettimeofday
+
+let m_halo_words = lazy (Metrics.counter "proc_halo_words_total")
+let m_runs = lazy (Metrics.counter "proc_runs_total")
+
+let record tr ~round ~active ~changed ~unhalted ~t0 =
+  Option.iter
+    (fun t ->
+      Trace.record t
+        { Trace.round; active; changed; unhalted; wall_s = now () -. t0 })
+    tr
+
+(* ---------- cluster plumbing ---------- *)
+
+type stats = { s_active : int; s_changed : int; s_unhalted : int }
+
+type ops = {
+  plan : Plan.t;
+  size : int;
+  stats0 : stats;
+  step : round:int -> stats;
+  stop : ship:bool -> bytes option array;
+      (* per-rank owned-state images (ascending) when [ship] *)
+}
+
+let wait_status_string = function
+  | Unix.WEXITED c -> Printf.sprintf "exited with status %d" c
+  | Unix.WSIGNALED s -> Printf.sprintf "killed by signal %d" s
+  | Unix.WSTOPPED s -> Printf.sprintf "stopped by signal %d" s
+
+let rec waitpid_retry pid =
+  match Unix.waitpid [] pid with
+  | _, st -> st
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_retry pid
+
+(* A worker raised: [Failure] from the user's step function is re-raised
+   as [Failure] (parity with the in-process backends); everything else —
+   wire violations, worker bugs — becomes [Proc_failure]. *)
+exception Worker_failure of string
+
+let select_read ?(timeout = -1.) fds =
+  match Unix.select fds [] [] timeout with
+  | r, _, _ -> r
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+
+(* Fork the workers. Every socketpair is created before the first fork,
+   so each child inherits the full set and closes what is not its own:
+   the coordinator ends, the other workers' direct ends, and both ends
+   of every peer pair it is not a member of. *)
+let spawn_workers ~size ~direct ~pairs ~body =
+  flush stdout;
+  flush stderr;
+  let pids = Array.make size (-1) in
+  for rank = 0 to size - 1 do
+    match Unix.fork () with
+    | 0 ->
+      (try
+         Array.iteri
+           (fun i (c, w) ->
+             Unix.close c;
+             if i <> rank then Unix.close w)
+           direct;
+         let chans = ref [] in
+         List.iter
+           (fun ((a, b), (fa, fb)) ->
+             if rank = a then begin
+               Unix.close fb;
+               chans := (b, fa) :: !chans
+             end
+             else if rank = b then begin
+               Unix.close fa;
+               chans := (a, fb) :: !chans
+             end
+             else begin
+               Unix.close fa;
+               Unix.close fb
+             end)
+           pairs;
+         Worker.serve ~rank
+           ~coord:(snd direct.(rank))
+           ~chans:(Array.of_list !chans) ~body
+       with _ -> Unix._exit 125)
+    | pid -> pids.(rank) <- pid
+  done;
+  Array.iter (fun (_, w) -> Unix.close w) direct;
+  List.iter
+    (fun (_, (fa, fb)) ->
+      Unix.close fa;
+      Unix.close fb)
+    pairs;
+  pids
+
+let with_cluster ~procs ~topo ~entry ~sched ~slots ~body ~drive =
+  if Team.spawns () > 0 then
+    Wire.fail
+      "proc backend cannot fork: this process already spawned domains \
+       (OCaml 5 forbids fork after domain creation); run proc-mode work \
+       before any par/shard runs";
+  let shape = Collective.shape_of_env () in
+  let plan, plan_hit = Plan.build_cached ~topo ~shards:(max 1 procs) in
+  let shards = plan.Plan.shards in
+  let size = Array.length shards in
+  (* halo adjacency between shards, from the exchange route tables *)
+  let mat = Array.make_matrix size size false in
+  Array.iteri
+    (fun a sh ->
+      Array.iter (fun b -> if b <> a then mat.(a).(b) <- true) sh.Plan.xshard)
+    shards;
+  let ranks_where pred =
+    let acc = ref [] in
+    for r = size - 1 downto 0 do
+      if pred r then acc := r :: !acc
+    done;
+    Array.of_list !acc
+  in
+  let out_peers = Array.init size (fun a -> ranks_where (fun b -> mat.(a).(b))) in
+  let in_peers = Array.init size (fun b -> ranks_where (fun a -> mat.(a).(b))) in
+  (* one socketpair per unordered worker pair that needs any channel:
+     halo traffic in either direction, or a collective-tree edge *)
+  let need = Array.make_matrix size size false in
+  for a = 0 to size - 1 do
+    for b = 0 to size - 1 do
+      if mat.(a).(b) then begin
+        need.(min a b).(max a b) <- true
+      end
+    done
+  done;
+  for r = 1 to size - 1 do
+    let p = Collective.parent shape r in
+    need.(min p r).(max p r) <- true
+  done;
+  let direct =
+    Array.init size (fun _ -> Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0)
+  in
+  let pairs = ref [] in
+  for a = size - 1 downto 0 do
+    for b = size - 1 downto a + 1 do
+      if need.(a).(b) then
+        pairs :=
+          ((a, b), Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0) :: !pairs
+    done
+  done;
+  let pids = spawn_workers ~size ~direct ~pairs:!pairs ~body in
+  let cfd = Array.map fst direct in
+  let bufs = Array.init size (fun _ -> Transport.Buf.create 4096) in
+  let reaped = Array.make size false in
+  let dead = Array.make size false in
+  let closed = ref false in
+  let epi_halo = Array.make size 0 in
+  let epi_exch = Array.make size 0 in
+  let have_epi = Array.make size false in
+  let t_start = now () in
+  let cleanup () =
+    if not !closed then begin
+      closed := true;
+      Array.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) cfd
+    end;
+    Array.iteri
+      (fun rank pid ->
+        if not reaped.(rank) then begin
+          (try Unix.kill pid Sys.sigkill
+           with Unix.Unix_error _ -> ());
+          ignore (waitpid_retry pid);
+          reaped.(rank) <- true
+        end)
+      pids
+  in
+  let emit_spans () =
+    if Span.active () then begin
+      let np = topo.Topology.n_present in
+      Span.add_counter "proc:procs" size;
+      Span.add_counter "proc:shape"
+        (match shape with Collective.Binomial -> 0 | Collective.Nary f -> f);
+      Span.add_counter "proc:cut_edges" (Plan.cut_edges_total plan);
+      Span.add_counter "proc:imbalance" (Plan.imbalance_permille plan);
+      Span.add_counter
+        (if plan_hit then "proc:plan_hit" else "proc:plan_miss")
+        1;
+      Span.add_counter "proc:halo_words"
+        (Array.fold_left ( + ) 0 epi_halo);
+      Array.iteri
+        (fun rank sh ->
+          if have_epi.(rank) then
+            Span.with_span (Printf.sprintf "proc:%d" rank) (fun () ->
+                Span.add_counter "proc:owned" sh.Plan.n_owned;
+                Span.add_counter "proc:halo"
+                  (sh.Plan.n_local - sh.Plan.n_owned);
+                Span.add_counter "proc:cut_edges" sh.Plan.cut_edges;
+                Span.add_counter "proc:halo_words" epi_halo.(rank);
+                Span.add_counter "proc:imbalance"
+                  (if np = 0 then 1000
+                   else sh.Plan.n_owned * size * 1000 / np);
+                Span.add_counter "proc:exchange_rounds" epi_exch.(rank)))
+        shards
+    end
+  in
+  let emit_metrics () =
+    if Metrics.enabled () then begin
+      let halo = Array.fold_left ( + ) 0 epi_halo in
+      Metrics.incr (Lazy.force m_halo_words) halo;
+      Metrics.incr (Lazy.force m_runs) 1;
+      Metrics.Recorder.record
+        {
+          Metrics.Recorder.ts = now ();
+          kind = "exchange";
+          key = Printf.sprintf "procs:%d" size;
+          detail =
+            Printf.sprintf "halo_words=%d cut_edges=%d" halo
+              (Plan.cut_edges_total plan);
+          outcome = "ok";
+          latency_s = now () -. t_start;
+        }
+    end
+  in
+  let worker_died rank =
+    let st = waitpid_retry pids.(rank) in
+    reaped.(rank) <- true;
+    Wire.Proc_failure
+      (Printf.sprintf "tlp: worker %d (pid %d) %s before completing the run"
+         rank pids.(rank) (wait_status_string st))
+  in
+  let secondary src msg =
+    let msg =
+      if String.length msg >= 5 && String.sub msg 0 5 = "tlp: " then
+        String.sub msg 5 (String.length msg - 5)
+      else msg
+    in
+    Wire.Proc_failure (Printf.sprintf "tlp: worker %d failed: %s" src msg)
+  in
+  let rank_of_fd fd =
+    let r = ref (-1) in
+    Array.iteri (fun i f -> if f == fd then r := i) cfd;
+    !r
+  in
+  (* Once one worker dies, its exchange peers die with it (connection
+     reset / EOF mid-exchange), and the secondary error frames race the
+     primary one to the coordinator. Before reporting a casualty, drain
+     the remaining channels briefly: if any worker shipped a real
+     [Failure] (the user's exception), parity demands that it wins over
+     the connection resets it caused. *)
+  let postmortem first =
+    let deadline = Unix.gettimeofday () +. 2.0 in
+    let live () =
+      Array.to_list
+        (Array.of_seq
+           (Seq.filter_map
+              (fun r -> if dead.(r) then None else Some cfd.(r))
+              (Seq.init size Fun.id)))
+    in
+    let finished = ref false in
+    while not !finished do
+      match live () with
+      | [] -> finished := true
+      | fds ->
+        let timeout = deadline -. Unix.gettimeofday () in
+        if timeout <= 0. then finished := true
+        else
+          List.iter
+            (fun fd ->
+              let rank = rank_of_fd fd in
+              match Transport.recv_typed cfd.(rank) bufs.(rank) with
+              | Wire.Error_frame e when e.failure ->
+                raise (Worker_failure e.message)
+              | Wire.Error_frame _ -> dead.(rank) <- true
+              | _ -> () (* late traffic of a doomed run *)
+              | exception End_of_file ->
+                dead.(rank) <- true;
+                ignore (worker_died rank)
+              | exception Wire.Proc_failure _ -> dead.(rank) <- true)
+            (select_read ~timeout fds)
+    done;
+    raise first
+  in
+  let read_frame rank =
+    match Transport.recv_typed cfd.(rank) bufs.(rank) with
+    | Wire.Error_frame e when e.failure -> raise (Worker_failure e.message)
+    | Wire.Error_frame e ->
+      dead.(rank) <- true;
+      postmortem (secondary e.src e.message)
+    | f -> f
+    | exception End_of_file ->
+      dead.(rank) <- true;
+      postmortem (worker_died rank)
+  in
+  (* Wait for one frame satisfying [accept], watching every worker
+     channel so a crash anywhere (error frame or EOF) surfaces instead
+     of hanging the run. *)
+  let await ~accept ~what =
+    let result = ref None in
+    while !result = None do
+      let ready = select_read (Array.to_list cfd) in
+      List.iter
+        (fun fd ->
+          if !result = None then begin
+            let rank = rank_of_fd fd in
+            match accept rank (read_frame rank) with
+            | Some v -> result := Some v
+            | None ->
+              Wire.fail "unexpected frame from worker %d while awaiting %s"
+                rank what
+          end)
+        ready
+    done;
+    Option.get !result
+  in
+  let await_stats ~round =
+    await ~what:(Printf.sprintf "stats (round %d)" round)
+      ~accept:(fun rank f ->
+        match f with
+        | Wire.Stats s when rank = 0 && s.round = round ->
+          Some
+            {
+              s_active = s.active;
+              s_changed = s.changed;
+              s_unhalted = s.unhalted;
+            }
+        | _ -> None)
+  in
+  let send_decision ~action ~round =
+    let img = Wire.encode (Wire.Decision { action; round }) in
+    Transport.send_frame cfd.(0) img (Bytes.length img)
+  in
+  let step ~round =
+    send_decision ~action:Wire.a_step ~round;
+    await_stats ~round
+  in
+  let stop ~ship =
+    send_decision
+      ~action:(if ship then Wire.a_stop_result else Wire.a_stop)
+      ~round:0;
+    let states = Array.make size None in
+    let n_got = ref 0 in
+    while !n_got < size do
+      let pend =
+        Array.to_list
+          (Array.of_seq
+             (Seq.filter_map
+                (fun rank ->
+                  if have_epi.(rank) then None else Some cfd.(rank))
+                (Seq.init size Fun.id)))
+      in
+      let ready = select_read pend in
+      List.iter
+        (fun fd ->
+          let rank = rank_of_fd fd in
+          if not have_epi.(rank) then begin
+            match read_frame rank with
+            | Wire.Epilogue e when e.src = rank ->
+              have_epi.(rank) <- true;
+              incr n_got;
+              epi_halo.(rank) <- e.halo_words;
+              epi_exch.(rank) <- e.exchange_rounds;
+              states.(rank) <- e.states
+            | _ ->
+              Wire.fail "unexpected frame from worker %d while awaiting \
+                         epilogue" rank
+          end)
+        ready
+    done;
+    (* orderly reap: every worker exits right after its epilogue *)
+    Array.iteri
+      (fun rank pid ->
+        if not reaped.(rank) then begin
+          let st = waitpid_retry pid in
+          reaped.(rank) <- true;
+          match st with
+          | Unix.WEXITED 0 -> ()
+          | st ->
+            Wire.fail "worker %d (pid %d) %s after an orderly stop" rank pid
+              (wait_status_string st)
+        end)
+      pids;
+    states
+  in
+  match
+    Fun.protect
+      ~finally:(fun () ->
+        cleanup ();
+        emit_spans ();
+        emit_metrics ())
+      (fun () ->
+        (* prologues: identity, run configuration, halo-neighbor sets,
+           tree shape and the shard image — once per worker *)
+        Array.iteri
+          (fun rank sh ->
+            let img =
+              Wire.encode
+                (Wire.Prologue
+                   {
+                     rank;
+                     size;
+                     entry = Worker.entry_code entry;
+                     sched = Worker.sched_code sched;
+                     shape = Collective.code_of_shape shape;
+                     slots;
+                     in_peers = in_peers.(rank);
+                     out_peers = out_peers.(rank);
+                     shard = Plan.encode_shard sh;
+                   })
+            in
+            Transport.send_frame cfd.(rank) img (Bytes.length img))
+          shards;
+        let stats0 = await_stats ~round:0 in
+        drive { plan; size; stats0; step; stop })
+  with
+  | v -> v
+  | exception Worker_failure msg -> failwith msg
+
+(* ---------- decision loops (sb_run / sb_run_until_stable /
+   sb_run_rounds, driven from stats totals) ---------- *)
+
+let drive_halted ~tr ~max_rounds ops =
+  let active = ref ops.stats0.s_active in
+  let unhalted = ref ops.stats0.s_unhalted in
+  let rounds = ref 0 in
+  let stalled = ref false in
+  while !unhalted > 0 && !rounds < max_rounds && not !stalled do
+    if !active = 0 then stalled := true
+    else begin
+      let t0 = now () in
+      incr rounds;
+      let s = ops.step ~round:!rounds in
+      record tr ~round:!rounds ~active:!active ~changed:s.s_changed
+        ~unhalted:s.s_unhalted ~t0;
+      active := s.s_active;
+      unhalted := s.s_unhalted
+    end
+  done;
+  if !unhalted > 0 then begin
+    ignore (ops.stop ~ship:false);
+    failwith (Printf.sprintf "Engine.run: max_rounds=%d exceeded" max_rounds)
+  end;
+  (ops.stop ~ship:true, !rounds)
+
+let drive_stable ~tr ~max_rounds ops =
+  let active = ref ops.stats0.s_active in
+  let rounds = ref 0 in
+  let stable = ref false in
+  while (not !stable) && !rounds < max_rounds do
+    if !active = 0 then stable := true
+    else begin
+      let t0 = now () in
+      let s = ops.step ~round:(!rounds + 1) in
+      record tr ~round:(!rounds + 1) ~active:!active ~changed:s.s_changed
+        ~unhalted:(-1) ~t0;
+      if s.s_changed > 0 then incr rounds else stable := true;
+      active := s.s_active
+    end
+  done;
+  if not !stable then begin
+    ignore (ops.stop ~ship:false);
+    failwith
+      (Printf.sprintf "Engine.run_until_stable: max_rounds=%d exceeded"
+         max_rounds)
+  end;
+  (ops.stop ~ship:true, !rounds)
+
+let drive_fixed ~tr ~total ops =
+  let active = ref ops.stats0.s_active in
+  for r = 1 to total do
+    if !active > 0 then begin
+      let t0 = now () in
+      let s = ops.step ~round:r in
+      record tr ~round:r ~active:!active ~changed:s.s_changed ~unhalted:(-1)
+        ~t0;
+      active := s.s_active
+    end
+  done;
+  (ops.stop ~ship:true, total)
+
+(* ---------- boxed entry points (the Engine.Proc hook) ---------- *)
+
+let apply_boxed_states (type a) (states : a array) sh b =
+  let n_owned = sh.Plan.n_owned and l2g = sh.Plan.l2g in
+  let blen = Bytes.length b in
+  let pos = ref 0 in
+  for l = 0 to n_owned - 1 do
+    if !pos >= blen then Wire.fail "truncated epilogue states";
+    match Bytes.get b !pos with
+    | '\000' ->
+      if !pos + 9 > blen then Wire.fail "truncated epilogue states";
+      states.(l2g.(l)) <- (Obj.magic (Wire.get_i64 b (!pos + 1)) : a);
+      pos := !pos + 9
+    | '\001' ->
+      if !pos + 5 > blen then Wire.fail "truncated epilogue states";
+      let ml = Wire.get_u32 b (!pos + 1) in
+      if !pos + 5 + ml > blen then Wire.fail "truncated epilogue states";
+      states.(l2g.(l)) <- Marshal.from_bytes (Bytes.sub b (!pos + 5) ml) 0;
+      pos := !pos + 5 + ml
+    | c -> Wire.fail "bad epilogue state tag %d" (Char.code c)
+  done;
+  if !pos <> blen then Wire.fail "trailing epilogue state bytes"
+
+let assemble_boxed (type a) ~topo ~(init : int -> a) ~plan images :
+    a array =
+  let states = Array.init topo.Topology.n_base init in
+  Array.iteri
+    (fun rank img ->
+      match img with
+      | None -> Wire.fail "worker %d shipped no states" rank
+      | Some b -> apply_boxed_states states plan.Plan.shards.(rank) b)
+    images;
+  states
+
+let pb_run :
+    type a.
+    procs:int ->
+    sched:Engine.scheduling ->
+    equal:(a -> a -> bool) ->
+    trace:Trace.t option ->
+    topo:Topology.t ->
+    init:(int -> a) ->
+    step:a Engine.step_fn ->
+    halted:(a -> bool) ->
+    max_rounds:int ->
+    a Engine.outcome =
+ fun ~procs ~sched ~equal ~trace:tr ~topo ~init ~step ~halted ~max_rounds ->
+  with_cluster ~procs ~topo ~entry:Worker.Run ~sched ~slots:0
+    ~body:(fun env ->
+      Worker.run_boxed env ~init ~step ~equal ~halted:(Some halted))
+    ~drive:(fun ops ->
+      let images, rounds = drive_halted ~tr ~max_rounds ops in
+      let states = assemble_boxed ~topo ~init ~plan:ops.plan images in
+      { Engine.states; rounds })
+
+let pb_run_until_stable :
+    type a.
+    procs:int ->
+    sched:Engine.scheduling ->
+    equal:(a -> a -> bool) ->
+    trace:Trace.t option ->
+    topo:Topology.t ->
+    init:(int -> a) ->
+    step:a Engine.step_fn ->
+    max_rounds:int ->
+    a Engine.outcome =
+ fun ~procs ~sched ~equal ~trace:tr ~topo ~init ~step ~max_rounds ->
+  with_cluster ~procs ~topo ~entry:Worker.Stable ~sched ~slots:0
+    ~body:(fun env -> Worker.run_boxed env ~init ~step ~equal ~halted:None)
+    ~drive:(fun ops ->
+      let images, rounds = drive_stable ~tr ~max_rounds ops in
+      let states = assemble_boxed ~topo ~init ~plan:ops.plan images in
+      { Engine.states; rounds })
+
+let pb_run_rounds :
+    type a.
+    procs:int ->
+    sched:Engine.scheduling ->
+    equal:(a -> a -> bool) ->
+    trace:Trace.t option ->
+    topo:Topology.t ->
+    init:(int -> a) ->
+    step:a Engine.step_fn ->
+    rounds:int ->
+    a Engine.outcome =
+ fun ~procs ~sched ~equal ~trace:tr ~topo ~init ~step ~rounds:total ->
+  with_cluster ~procs ~topo ~entry:Worker.Rounds ~sched ~slots:0
+    ~body:(fun env -> Worker.run_boxed env ~init ~step ~equal ~halted:None)
+    ~drive:(fun ops ->
+      let images, rounds = drive_fixed ~tr ~total ops in
+      let states = assemble_boxed ~topo ~init ~plan:ops.plan images in
+      { Engine.states; rounds })
+
+let () =
+  Engine.proc_backend := Some { Engine.pb_run; pb_run_until_stable; pb_run_rounds }
+
+let register () = ()
+
+(* ---------- flat entry points (the B12 fast path) ---------- *)
+
+let apply_flat_states slab ~slots sh b =
+  let n_owned = sh.Plan.n_owned and l2g = sh.Plan.l2g in
+  if Bytes.length b <> n_owned * slots * 8 then
+    Wire.fail "flat epilogue states: %d bytes for %d words" (Bytes.length b)
+      (n_owned * slots);
+  for l = 0 to n_owned - 1 do
+    let gbase = l2g.(l) * slots in
+    for k = 0 to slots - 1 do
+      slab.(gbase + k) <- Wire.get_i64 b (((l * slots) + k) * 8)
+    done
+  done
+
+let assemble_flat ~topo ~(kernel : Flat.kernel) ~plan images =
+  let slots = kernel.Flat.slots in
+  let init = kernel.Flat.init in
+  let n = topo.Topology.n_base in
+  let slab =
+    Array.init (n * slots) (fun i ->
+        init ~node:(i / slots) ~slot:(i mod slots))
+  in
+  Array.iteri
+    (fun rank img ->
+      match img with
+      | None -> Wire.fail "worker %d shipped no states" rank
+      | Some b -> apply_flat_states slab ~slots plan.Plan.shards.(rank) b)
+    images;
+  fun rounds -> { Flat.slab; slots; rounds }
+
+let flat_global ~topo ~kernel_for =
+  kernel_for ~l2g:(Array.init topo.Topology.n_base Fun.id)
+
+let run_flat ?procs ?(sched = Engine.Active_set) ~topo ~kernel_for
+    ~max_rounds () =
+  let procs =
+    match procs with Some p -> p | None -> max 1 !Engine.default_procs
+  in
+  let kernel = flat_global ~topo ~kernel_for in
+  if kernel.Flat.halted = None then
+    invalid_arg
+      (Printf.sprintf "Proc.run_flat: kernel %s has no halted predicate"
+         kernel.Flat.name);
+  with_cluster ~procs ~topo ~entry:Worker.Run ~sched ~slots:kernel.Flat.slots
+    ~body:(fun env -> Worker.run_flat env ~kernel_for)
+    ~drive:(fun ops ->
+      let images, rounds = drive_halted ~tr:None ~max_rounds ops in
+      assemble_flat ~topo ~kernel ~plan:ops.plan images rounds)
+
+let run_flat_until_stable ?procs ?(sched = Engine.Active_set) ~topo
+    ~kernel_for ~max_rounds () =
+  let procs =
+    match procs with Some p -> p | None -> max 1 !Engine.default_procs
+  in
+  let kernel : Flat.kernel = flat_global ~topo ~kernel_for in
+  with_cluster ~procs ~topo ~entry:Worker.Stable ~sched
+    ~slots:kernel.Flat.slots
+    ~body:(fun env -> Worker.run_flat env ~kernel_for)
+    ~drive:(fun ops ->
+      let images, rounds = drive_stable ~tr:None ~max_rounds ops in
+      assemble_flat ~topo ~kernel ~plan:ops.plan images rounds)
+
+(* Shard-local builders for the stock flat kernels: the worker calls
+   [kernel_for ~l2g:shard.l2g] so node-indexed inputs are remapped into
+   local space (ghosts included); the coordinator's identity-l2g call
+   recovers the global kernel for slab initialization. *)
+module Kernels = struct
+  let flood ?(source = 0) () ~l2g =
+    let k = Flat.Kernels.flood ~source () in
+    {
+      k with
+      Flat.init = (fun ~node ~slot:_ -> if l2g.(node) = source then 1 else 0);
+    }
+
+  let mis_local_max ~ids ~l2g =
+    Flat.Kernels.mis_local_max ~ids:(Array.map (fun g -> ids.(g)) l2g)
+end
+
+(* ---------- direct boxed API (mirrors Shard.run / Par.run) ---------- *)
+
+let proc_count = function
+  | Some p -> p
+  | None -> max 1 !Engine.default_procs
+
+let run ?procs ?sched ?equal ?trace ?label ~topo ~init ~step ~halted
+    ~max_rounds () =
+  Engine.run ~mode:(Engine.Proc (proc_count procs)) ?sched ?equal ?trace
+    ?label ~topo ~init ~step ~halted ~max_rounds ()
+
+let run_until_stable ?procs ?sched ?trace ?label ~topo ~init ~step ~equal
+    ~max_rounds () =
+  Engine.run_until_stable ~mode:(Engine.Proc (proc_count procs)) ?sched
+    ?trace ?label ~topo ~init ~step ~equal ~max_rounds ()
+
+let run_rounds ?procs ?sched ?equal ?trace ?label ~topo ~init ~step ~rounds
+    () =
+  Engine.run_rounds ~mode:(Engine.Proc (proc_count procs)) ?sched ?equal
+    ?trace ?label ~topo ~init ~step ~rounds ()

@@ -1,0 +1,167 @@
+(* EINTR/partial-I/O-safe transport. See transport.mli. *)
+
+let ignore_sigpipe =
+  lazy
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ -> (* no SIGPIPE on this platform *) ())
+
+let wait_readable fd = ignore (Unix.select [ fd ] [] [] (-1.))
+let wait_writable fd = ignore (Unix.select [] [ fd ] [] (-1.))
+
+let rec write_all fd b pos len =
+  if len > 0 then begin
+    Lazy.force ignore_sigpipe;
+    match Unix.write fd b pos len with
+    | n -> write_all fd b (pos + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd b pos len
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      (try wait_writable fd
+       with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      write_all fd b pos len
+  end
+
+let write_string fd s = write_all fd (Bytes.unsafe_of_string s) 0 (String.length s)
+
+let rec read_some fd b pos len =
+  match Unix.read fd b pos len with
+  | n -> n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_some fd b pos len
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    (try wait_readable fd
+     with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    read_some fd b pos len
+
+let rec read_exact fd b pos len =
+  if len > 0 then begin
+    let n = read_some fd b pos len in
+    if n = 0 then raise End_of_file;
+    read_exact fd b (pos + n) (len - n)
+  end
+
+module Buf = struct
+  type t = { mutable b : Bytes.t; mutable len : int }
+
+  let create cap = { b = Bytes.create (max 16 cap); len = 0 }
+
+  let ensure t cap =
+    if cap > Bytes.length t.b then begin
+      let c = ref (max 16 (2 * Bytes.length t.b)) in
+      while !c < cap do
+        c := !c * 2
+      done;
+      let nb = Bytes.create !c in
+      Bytes.blit t.b 0 nb 0 t.len;
+      t.b <- nb
+    end
+end
+
+let send_frame fd image total = write_all fd image 0 total
+
+let recv_frame fd (buf : Buf.t) =
+  Buf.ensure buf 4;
+  (* a clean EOF before any header byte is a frame-boundary close *)
+  let n0 = read_some fd buf.b 0 4 in
+  if n0 = 0 then raise End_of_file;
+  (try read_exact fd buf.b n0 (4 - n0)
+   with End_of_file -> Wire.fail "peer closed mid-frame header");
+  let len = Wire.get_u32 buf.b 0 in
+  if len > Wire.max_frame_bytes then Wire.fail "oversized frame (%d bytes)" len;
+  Buf.ensure buf len;
+  (try read_exact fd buf.b 0 len
+   with End_of_file -> Wire.fail "peer closed mid-frame (%d byte body)" len);
+  buf.len <- len;
+  len
+
+let recv_typed fd buf =
+  let len = recv_frame fd buf in
+  Wire.decode_payload buf.b ~pos:0 ~len
+
+(* ---------- the halo exchange pump ---------- *)
+
+type xfer_out = {
+  ofd : Unix.file_descr;
+  obuf : Bytes.t;
+  olen : int;
+  mutable opos : int;
+}
+
+type xfer_in = {
+  ifd : Unix.file_descr;
+  ibuf : Buf.t;
+  ihdr : Bytes.t;  (* 4-byte length prefix accumulator *)
+  mutable hgot : int;
+  mutable plen : int;  (* payload length, -1 until the prefix is whole *)
+  mutable ppos : int;
+}
+
+let make_out ofd obuf olen = { ofd; obuf; olen; opos = 0 }
+
+let make_in ifd ibuf =
+  { ifd; ibuf; ihdr = Bytes.create 4; hgot = 0; plen = -1; ppos = 0 }
+
+let in_payload_len xi = xi.plen
+let in_done xi = xi.plen >= 0 && xi.ppos >= xi.plen
+
+let pump_read xi =
+  if xi.plen < 0 then begin
+    match Unix.read xi.ifd xi.ihdr xi.hgot (4 - xi.hgot) with
+    | 0 ->
+      if xi.hgot = 0 then Wire.fail "peer closed before exchange frame"
+      else Wire.fail "peer closed mid-frame header"
+    | n ->
+      xi.hgot <- xi.hgot + n;
+      if xi.hgot = 4 then begin
+        let len = Wire.get_u32 xi.ihdr 0 in
+        if len > Wire.max_frame_bytes then
+          Wire.fail "oversized frame (%d bytes)" len;
+        Buf.ensure xi.ibuf len;
+        xi.plen <- len;
+        xi.ibuf.len <- len
+      end
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  end
+  else
+    match Unix.read xi.ifd xi.ibuf.b xi.ppos (xi.plen - xi.ppos) with
+    | 0 -> Wire.fail "peer closed mid-frame (%d byte body)" xi.plen
+    | n -> xi.ppos <- xi.ppos + n
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+
+let pump_write xo =
+  match Unix.write xo.ofd xo.obuf xo.opos (xo.olen - xo.opos) with
+  | n -> xo.opos <- xo.opos + n
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+
+let exchange ~outs ~ins =
+  Lazy.force ignore_sigpipe;
+  (* an empty-body frame still has a 4-byte prefix + 19-byte header, so
+     "done" for an input means the whole frame arrived *)
+  let remaining () =
+    Array.exists (fun xo -> xo.opos < xo.olen) outs
+    || Array.exists (fun xi -> not (in_done xi)) ins
+  in
+  while remaining () do
+    let rd =
+      Array.fold_left
+        (fun acc xi -> if in_done xi then acc else xi.ifd :: acc)
+        [] ins
+    and wr =
+      Array.fold_left
+        (fun acc xo -> if xo.opos >= xo.olen then acc else xo.ofd :: acc)
+        [] outs
+    in
+    match Unix.select rd wr [] (-1.) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, writable, _ ->
+      Array.iter
+        (fun xo ->
+          if xo.opos < xo.olen && List.memq xo.ofd writable then
+            try pump_write xo
+            with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+        outs;
+      Array.iter
+        (fun xi ->
+          if (not (in_done xi)) && List.memq xi.ifd readable then
+            try pump_read xi
+            with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+        ins
+  done

@@ -1,0 +1,74 @@
+(** EINTR- and partial-I/O-safe socket transport.
+
+    Every loop here restarts on [EINTR], finishes partial reads/writes,
+    and — when a descriptor is in non-blocking mode — parks in
+    [Unix.select] on [EAGAIN]/[EWOULDBLOCK] instead of spinning. The
+    serving layer reuses {!read_some}/{!write_all} for its daemon and
+    client sockets; the process backend adds framed send/receive and the
+    bidirectional {!exchange} pump on top.
+
+    [SIGPIPE] is set to ignore (once, lazily) before any write: a dying
+    peer must surface as [EPIPE] — an exception the callers handle — and
+    not kill the process. *)
+
+val write_all : Unix.file_descr -> Bytes.t -> int -> int -> unit
+(** [write_all fd b pos len] writes exactly [len] bytes. *)
+
+val write_string : Unix.file_descr -> string -> unit
+
+val read_exact : Unix.file_descr -> Bytes.t -> int -> int -> unit
+(** [read_exact fd b pos len] reads exactly [len] bytes; raises
+    [End_of_file] on a clean close before [len] bytes arrived. *)
+
+val read_some : Unix.file_descr -> Bytes.t -> int -> int -> int
+(** One [Unix.read], restarted on [EINTR] (and parked on [EAGAIN] for
+    non-blocking descriptors): returns [0] only on end of stream —
+    drop-in for the serving layer's request reader. *)
+
+(** A reusable growable byte buffer. [b] holds [len] valid bytes;
+    {!ensure} grows geometrically so steady-state rounds never
+    reallocate. *)
+module Buf : sig
+  type t = { mutable b : Bytes.t; mutable len : int }
+
+  val create : int -> t
+  val ensure : t -> int -> unit
+  (** [ensure t cap] makes room for at least [cap] total bytes. *)
+end
+
+val send_frame : Unix.file_descr -> Bytes.t -> int -> unit
+(** [send_frame fd image total] writes a finished frame image
+    ([Wire.end_frame] already applied). *)
+
+val recv_frame : Unix.file_descr -> Buf.t -> int
+(** Read one frame into [buf.b] ([0 .. ret)) and return the payload
+    length. Validates the length prefix against
+    {!Wire.max_frame_bytes}. Raises [End_of_file] on a clean close at a
+    frame boundary, {!Wire.Proc_failure} on a close mid-frame. *)
+
+val recv_typed : Unix.file_descr -> Buf.t -> Wire.frame
+(** {!recv_frame} + {!Wire.decode_payload}. *)
+
+(** {2 The halo exchange pump}
+
+    All sends and receives of one exchange phase progress together
+    under a single [select] loop, with single-shot reads/writes on
+    non-blocking descriptors: simultaneous large halos in both
+    directions of one socketpair cannot deadlock on kernel buffer
+    limits, which a write-then-read schedule would. *)
+
+type xfer_out
+type xfer_in
+
+val make_out : Unix.file_descr -> Bytes.t -> int -> xfer_out
+(** A frame image of [total] bytes to push to a peer. *)
+
+val make_in : Unix.file_descr -> Buf.t -> xfer_in
+(** A slot for exactly one incoming frame from a peer. *)
+
+val in_payload_len : xfer_in -> int
+(** Payload length of the received frame (after {!exchange}). *)
+
+val exchange : outs:xfer_out array -> ins:xfer_in array -> unit
+(** Drive every transfer to completion. Raises {!Wire.Proc_failure} if
+    a peer closes mid-exchange. *)

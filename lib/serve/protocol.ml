@@ -374,21 +374,26 @@ let resolve_knobs ~engine ~shards ~pool ~n =
     Stdlib.Error
       (Printf.sprintf "invalid pool size %d (expected 1 <= N <= 64)" pool)
   else
-    (* "shard" without an inline count resolves against default_shards at
-       parse time; scope the ref so the caller's global is untouched *)
+    (* "shard"/"proc" without an inline count resolve against the
+       request's shards knob; scope both refs so the caller's globals
+       are untouched *)
     let saved = !Engine.default_shards in
+    let saved_p = !Engine.default_procs in
     Engine.default_shards := shards;
+    Engine.default_procs := shards;
     let mode =
       Fun.protect
-        ~finally:(fun () -> Engine.default_shards := saved)
+        ~finally:(fun () ->
+          Engine.default_shards := saved;
+          Engine.default_procs := saved_p)
         (fun () ->
           match Engine.mode_of_string engine with
           | m -> Ok m
           | exception Invalid_argument _ ->
             Stdlib.Error
               (Printf.sprintf
-                 "invalid engine %S (expected naive, seq, par:N, shard or \
-                  shard:S)"
+                 "invalid engine %S (expected naive, seq, par:N, shard, \
+                  shard:S, proc or proc:S)"
                  engine))
     in
     match mode with
@@ -403,4 +408,14 @@ let resolve_knobs ~engine ~shards ~pool ~n =
       Stdlib.Error
         "engine shard requested but no shard backend is linked (build \
          against tl_shard)"
+    | Ok (Engine.Proc p) when p > n ->
+      Stdlib.Error
+        (Printf.sprintf
+           "proc count %d exceeds the instance size n = %d (each worker \
+            needs at least one node)"
+           p n)
+    | Ok (Engine.Proc _) when !Engine.proc_backend = None ->
+      Stdlib.Error
+        "engine proc requested but no process backend is linked (build \
+         against tl_proc)"
     | Ok m -> Ok m

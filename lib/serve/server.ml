@@ -337,6 +337,13 @@ let exec t (r : P.request) ~mode =
             "shard count %d exceeds the built instance size %d (the spec's \
              n = %d is approximate for this family)"
             s (Graph.n_nodes inst.graph) (P.spec_n r.spec)))
+  | Engine.Proc p when p > Graph.n_nodes inst.graph ->
+    raise
+      (Inadmissible
+         (Printf.sprintf
+            "proc count %d exceeds the built instance size %d (the spec's \
+             n = %d is approximate for this family)"
+            p (Graph.n_nodes inst.graph) (P.spec_n r.spec)))
   | _ -> ());
   let (partial, traces), span =
     Span.run "serve:request" (fun () ->
@@ -528,13 +535,16 @@ let handle_lines t lines =
 let rec restart_on_eintr f =
   try f () with Unix.Unix_error (Unix.EINTR, _, _) -> restart_on_eintr f
 
+(* Socket I/O rides the process backend's transport loops: reads restart
+   on EINTR and park in select on EAGAIN, writes survive partial
+   delivery — one hardened implementation for daemon, client and worker
+   channels alike. *)
 let run_fd t fd_in fd_out =
   let chunk = Bytes.create 65536 in
   let tail = Buffer.create 4096 in
   let eof = ref false in
-  let out = Unix.out_channel_of_descr fd_out in
   let read_once () =
-    let n = restart_on_eintr (fun () -> Unix.read fd_in chunk 0 (Bytes.length chunk)) in
+    let n = Tl_proc.Transport.read_some fd_in chunk 0 (Bytes.length chunk) in
     if n = 0 then eof := true else Buffer.add_subbytes tail chunk 0 n
   in
   let readable_now () =
@@ -573,12 +583,11 @@ let run_fd t fd_in fd_out =
       else lines
     in
     let lines = List.filter (fun l -> String.trim l <> "") lines in
-    if lines <> [] then begin
-      List.iter (output_string out) (handle_lines t lines);
-      flush out
-    end
-  done;
-  flush out
+    if lines <> [] then
+      List.iter
+        (fun resp -> Tl_proc.Transport.write_string fd_out resp)
+        (handle_lines t lines)
+  done
 
 let serve_stdio t = run_fd t Unix.stdin Unix.stdout
 

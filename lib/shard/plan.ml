@@ -245,6 +245,126 @@ let n_shards t = Array.length t.shards
 let cut_edges_total t =
   Array.fold_left (fun acc sh -> acc + sh.cut_edges) 0 t.shards
 
+(* ---------- shard (de)serialization ----------
+
+   Binary codec used by the tl_proc backend to ship each worker its
+   sub-CSR once at startup (the prologue frame). Self-contained — tl_proc
+   depends on this library, not the other way round — and versioned so a
+   coordinator and worker built from different trees fail loudly instead
+   of misparsing. Layout: magic "TLS", version byte, four u32 scalars
+   (id, n_owned, n_local, cut_edges), then the nine int arrays each as
+   u32 length + 8-byte little-endian entries. [owned] is not stored: it
+   is always the first [n_owned] entries of [l2g]. *)
+
+let shard_codec_version = 1
+
+let enc_u32 b pos v =
+  Bytes.set_int32_le b pos (Int32.of_int v)
+
+let dec_u32 b pos = Int32.to_int (Bytes.get_int32_le b pos) land 0xFFFFFFFF
+
+let encode_shard sh =
+  let arrays =
+    [|
+      sh.l2g; sh.off; sh.adj; sh.eid; sh.halo_off; sh.halo_adj; sh.xoff;
+      sh.xshard; sh.xslot;
+    |]
+  in
+  let size =
+    4 + 16
+    + Array.fold_left (fun acc a -> acc + 4 + (8 * Array.length a)) 0 arrays
+  in
+  let b = Bytes.create size in
+  Bytes.set b 0 'T';
+  Bytes.set b 1 'L';
+  Bytes.set b 2 'S';
+  Bytes.set b 3 (Char.chr shard_codec_version);
+  enc_u32 b 4 sh.id;
+  enc_u32 b 8 sh.n_owned;
+  enc_u32 b 12 sh.n_local;
+  enc_u32 b 16 sh.cut_edges;
+  let pos = ref 20 in
+  Array.iter
+    (fun a ->
+      enc_u32 b !pos (Array.length a);
+      pos := !pos + 4;
+      Array.iter
+        (fun v ->
+          Bytes.set_int64_le b !pos (Int64.of_int v);
+          pos := !pos + 8)
+        a)
+    arrays;
+  assert (!pos = size);
+  b
+
+let decode_shard b =
+  let len = Bytes.length b in
+  let bad fmt = Printf.ksprintf invalid_arg ("Plan.decode_shard: " ^^ fmt) in
+  if len < 20 then bad "truncated header (%d bytes)" len;
+  if Bytes.get b 0 <> 'T' || Bytes.get b 1 <> 'L' || Bytes.get b 2 <> 'S' then
+    bad "bad magic";
+  let ver = Char.code (Bytes.get b 3) in
+  if ver <> shard_codec_version then
+    bad "version mismatch (got %d, expected %d)" ver shard_codec_version;
+  let id = dec_u32 b 4
+  and n_owned = dec_u32 b 8
+  and n_local = dec_u32 b 12
+  and cut_edges = dec_u32 b 16 in
+  let pos = ref 20 in
+  let read_array () =
+    if !pos + 4 > len then bad "truncated at array header (offset %d)" !pos;
+    let k = dec_u32 b !pos in
+    pos := !pos + 4;
+    if !pos + (8 * k) > len then
+      bad "truncated array body (offset %d, want %d entries)" !pos k;
+    let a =
+      Array.init k (fun i -> Int64.to_int (Bytes.get_int64_le b (!pos + (8 * i))))
+    in
+    pos := !pos + (8 * k);
+    a
+  in
+  let l2g = read_array () in
+  let off = read_array () in
+  let adj = read_array () in
+  let eid = read_array () in
+  let halo_off = read_array () in
+  let halo_adj = read_array () in
+  let xoff = read_array () in
+  let xshard = read_array () in
+  let xslot = read_array () in
+  if !pos <> len then bad "trailing garbage (%d bytes)" (len - !pos);
+  if n_owned < 0 || n_local < n_owned then
+    bad "inconsistent sizes (n_owned=%d n_local=%d)" n_owned n_local;
+  if Array.length l2g <> n_local then bad "l2g length mismatch";
+  if Array.length off <> n_owned + 1 then bad "off length mismatch";
+  if Array.length adj <> Array.length eid then bad "adj/eid length mismatch";
+  if Array.length adj <> off.(n_owned) then bad "adj length disagrees with off";
+  if Array.length halo_off <> n_local - n_owned + 1 then
+    bad "halo_off length mismatch";
+  if Array.length halo_adj <> halo_off.(n_local - n_owned) then
+    bad "halo_adj length disagrees with halo_off";
+  if Array.length xoff <> n_owned + 1 then bad "xoff length mismatch";
+  if Array.length xshard <> Array.length xslot then
+    bad "xshard/xslot length mismatch";
+  if Array.length xshard <> xoff.(n_owned) then
+    bad "xshard length disagrees with xoff";
+  {
+    id;
+    owned = Array.sub l2g 0 n_owned;
+    n_owned;
+    n_local;
+    l2g;
+    off;
+    adj;
+    eid;
+    halo_off;
+    halo_adj;
+    xoff;
+    xshard;
+    xslot;
+    cut_edges;
+  }
+
 let imbalance_permille t =
   let np = t.topo.Topology.n_present in
   if np = 0 then 1000

@@ -93,6 +93,17 @@ val cache_stats : unit -> int * int
 val n_shards : t -> int
 val cut_edges_total : t -> int
 
+val encode_shard : shard -> bytes
+(** Versioned binary image of one shard's sub-CSR (magic ["TLS"]), used
+    by the process backend's topology prologue frame. [decode_shard] is
+    its exact inverse. *)
+
+val decode_shard : bytes -> shard
+(** Inverse of {!encode_shard}. Raises [Invalid_argument] with a
+    [Plan.decode_shard:] message on truncation, bad magic, version
+    mismatch, trailing bytes, or inconsistent array lengths — never
+    returns a structurally invalid shard. *)
+
 val imbalance_permille : t -> int
 (** [max_s n_owned(s) * shards * 1000 / n_present], i.e. 1000 for a
     perfectly balanced partition; 1000 when the plan is empty. *)
