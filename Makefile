@@ -1,6 +1,6 @@
 # Convenience entry points; everything is plain dune underneath.
 
-.PHONY: build test bench bench-full bench-smoke serve-smoke metrics-smoke proc-smoke clean
+.PHONY: build test bench bench-full bench-smoke serve-smoke metrics-smoke proc-smoke chaos-smoke clean
 
 build:
 	dune build
@@ -12,7 +12,7 @@ test:
 bench:
 	dune exec bench/main.exe
 
-EXPERIMENTS = E1-E3 E4-E5 E6 E7 E8 E9 E10 E11 E12 E13 E14 A B B6 B7 B8 B9 B10 B11 B12
+EXPERIMENTS = E1-E3 E4-E5 E6 E7 E8 E9 E10 E11 E12 E13 E14 A B B6 B7 B8 B9 B10 B11 B12 B13
 
 # Regenerate every committed bench artifact (BENCH_*.json, bench_csv/ +
 # MANIFEST.csv, bench_output.txt), one process per experiment.  The
@@ -42,6 +42,7 @@ bench-smoke:
 	TL_METRICS_BENCH_N=20000 dune exec bench/main.exe -- B10
 	TL_FLAT_BENCH_N=20000 dune exec bench/main.exe -- B11
 	TL_PROC_BENCH_N=20000 dune exec bench/main.exe -- B12
+	TL_FAULT_BENCH_N=20000 dune exec bench/main.exe -- B13
 	dune exec bench/regress.exe -- --tolerance 5.0 bench-baseline.json BENCH_engine.json
 	cp BENCH_serve.json serve-baseline.json
 	TL_SERVE_BENCH_N=2000 TL_SERVE_BENCH_R=20 dune exec bench/main.exe -- B9
@@ -75,6 +76,17 @@ metrics-smoke:
 	grep -q "PASS prometheus exposition well-formed" metrics_smoke.out
 	test "$$(grep -c FAIL metrics_smoke.out)" -eq 0
 	rm -f metrics_smoke.out
+
+# Chaos smoke: seeded crash-stop / crash-recover / link-drop / worker
+# kill schedules driven through Tl_fault.Chaos on flood and MIS. Every
+# scenario asserts final validity on the surviving graph and replay
+# determinism (identical event log, repair counts and digest); the
+# cross-mode scenarios also assert digest equality across backends.
+# Runs in its own process: the proc-kill scenario forks, so it must
+# precede any domain spawn (OCaml 5 forbids fork after one).
+chaos-smoke:
+	dune build examples/chaos_smoke.exe
+	dune exec --no-build examples/chaos_smoke.exe
 
 # Process-backend smoke: proc:{1,2,4} digest-identical to seq (flood
 # and the full Theorem 12 MIS pipeline), worker crash containment

@@ -35,6 +35,7 @@ let experiments =
        B6/B7 spawned the team) and is meant to run standalone, one
        process per experiment, as `make bench-full` and CI do. *)
     ("B12", "process backend: seq vs shard:4 vs proc:{2,4} over the tlp wire", Kernel_bench.run_proc);
+    ("B13", "tl_fault: incremental repair vs full recompute, gate overhead", Fault_bench.run);
   ]
 
 (* GC parameters as of process start.  The bechamel microbenches

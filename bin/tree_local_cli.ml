@@ -468,6 +468,84 @@ let decompose_cmd =
       const decompose $ which_arg $ family_arg $ n_arg $ seed_arg $ a_arg
       $ delta_arg $ k_arg)
 
+(* ---------- chaos ---------- *)
+
+let faults_arg =
+  let doc =
+    "Fault schedule: a JSON file path, inline JSON, or the compact \
+     grammar (e.g. \
+     $(b,seed=7;crash@4:0,9;recover@9:0;churn@2-20:rate=0.001)). \
+     Omitted: an empty schedule (armed hooks, no faults)."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"FILE|SPEC" ~doc)
+
+let chaos_problem_arg =
+  let doc = "Chaos workload: flood or mis." in
+  Arg.(value & opt string "flood" & info [ "problem" ] ~docv:"P" ~doc)
+
+let chaos problem family n seed a delta engine shards pool faults trace
+    profile report_fmt =
+  let module Chaos = Tl_fault.Chaos in
+  let module Injector = Tl_fault.Injector in
+  Engine.default_shards := shards;
+  let engine = Engine.mode_of_string engine in
+  setup_engine engine trace;
+  Tl_engine.Pool.default_workers := pool;
+  setup_profile profile report_fmt;
+  let schedule =
+    match faults with
+    | None -> Tl_fault.Schedule.empty
+    | Some s -> (
+      match Tl_fault.Schedule.of_arg s with
+      | Ok sc -> sc
+      | Error msg -> failwith (Printf.sprintf "bad --faults: %s" msg))
+  in
+  let g = build_instance family n seed a delta in
+  let real_n = Graph.n_nodes g in
+  let workload =
+    match problem with
+    | "flood" -> Chaos.Flood { source = 0 }
+    | "mis" -> Chaos.Mis { ids = Ids.permuted ~n:real_n ~seed:(seed + 1) }
+    | other -> failwith (Printf.sprintf "unknown chaos workload %s" other)
+  in
+  let r = Chaos.run ~mode:engine ~graph:g ~problem:workload ~schedule () in
+  Printf.printf "problem:     %s under faults\n" r.Chaos.problem;
+  Printf.printf "engine:      %s\n" r.Chaos.mode;
+  Printf.printf "nodes:       %d (%d surviving)\n" r.Chaos.n r.Chaos.survivors;
+  Printf.printf "epochs:      %d (%d proc retries)\n" r.Chaos.epochs
+    r.Chaos.retries;
+  Printf.printf "rounds:      %d executed, horizon %d\n" r.Chaos.rounds
+    r.Chaos.horizon;
+  Printf.printf "events:      %d crash, %d recover, %d drop, %d kill\n"
+    r.Chaos.crashes r.Chaos.recoveries r.Chaos.drops r.Chaos.kills;
+  List.iteri
+    (fun i (round, a) ->
+      if i < 40 then
+        Printf.printf "  @%-5d %s\n" round (Injector.applied_to_string a)
+      else if i = 40 then Printf.printf "  ...\n")
+    r.Chaos.log;
+  Printf.printf "repairs:     %d (%d labels rewritten, %d-node regions, \
+                 %.6f s)\n"
+    r.Chaos.repairs r.Chaos.relabeled r.Chaos.repair_region r.Chaos.repair_s;
+  Printf.printf "digest:      %016Lx\n" r.Chaos.digest;
+  print_trace_summary ();
+  Printf.printf "valid:       %b\n" r.Chaos.valid;
+  if not r.Chaos.valid then exit 1
+
+let chaos_cmd =
+  let doc =
+    "Run a workload under a deterministic fault schedule and repair the \
+     damage incrementally."
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(
+      const chaos $ chaos_problem_arg $ family_arg $ n_arg $ seed_arg $ a_arg
+      $ delta_arg $ engine_arg $ shards_arg $ pool_arg $ faults_arg
+      $ trace_arg $ profile_arg $ report_fmt_arg)
+
 (* ---------- predict ---------- *)
 
 let f_of_name = function
@@ -547,15 +625,35 @@ let span_arg =
   let doc = "Ask the daemon for the per-request span report." in
   Arg.(value & flag & info [ "span" ] ~doc)
 
+let retries_arg =
+  let doc =
+    "Retry a refused connection up to $(docv) times with bounded \
+     exponential backoff (50 ms doubling, capped at 1 s) before giving \
+     up — for clients racing a daemon that is still binding its socket."
+  in
+  Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+
 (* One request per invocation: connect, send a single ndjson line, print
    the daemon's response line, exit 0 on ok:true / 1 on an error
    outcome. The connection is closed after the response, so the daemon
    (one connection at a time) is immediately free for the next client. *)
 let client socket cmd format problem method_ family n seed a delta k engine
-    shards pool span =
+    shards pool span retries faults =
   let module P = Tl_serve.Protocol in
   let module Json = Tl_obs.Json in
   let module Metrics = Tl_obs.Metrics in
+  (* --faults may name a file; the daemon only takes inline forms, so
+     normalize client-side (read + parse here, ship canonical JSON) *)
+  let faults =
+    match faults with
+    | None -> None
+    | Some s -> (
+      match Tl_fault.Schedule.of_arg s with
+      | Ok sched -> Some (Json.to_string (Tl_fault.Schedule.to_json sched))
+      | Error msg ->
+        Printf.eprintf "client: bad --faults (%s)\n" msg;
+        exit 1)
+  in
   let req =
     match cmd with
     | Some c -> P.control_to_json ~id:"cli" c
@@ -563,15 +661,32 @@ let client socket cmd format problem method_ family n seed a delta k engine
       let spec = P.Family { family; n; seed; a; delta } in
       P.request_to_json
         (P.request ~id:"cli" ~problem ~method_ ~spec ?k ~engine ~shards ~pool
-           ~want_span:span ())
+           ~want_span:span ?faults ())
   in
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  match Unix.connect fd (Unix.ADDR_UNIX socket) with
-  | exception Unix.Unix_error (e, _, _) ->
-    Printf.eprintf "client: cannot connect to %s (%s)\n" socket
-      (Unix.error_message e);
-    exit 1
-  | () ->
+  let rec connect_with attempt =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () ->
+      if attempt > 0 then
+        Printf.eprintf "client: connected after %d retr%s\n" attempt
+          (if attempt = 1 then "y" else "ies");
+      fd
+    | exception Unix.Unix_error (e, _, _) ->
+      Unix.close fd;
+      if attempt >= retries then begin
+        Printf.eprintf "client: cannot connect to %s (%s%s)\n" socket
+          (Unix.error_message e)
+          (if retries > 0 then
+             Printf.sprintf ", after %d retries" retries
+           else "");
+        exit 1
+      end
+      else begin
+        Unix.sleepf (Float.min 1.0 (0.05 *. Float.pow 2.0 (float_of_int attempt)));
+        connect_with (attempt + 1)
+      end
+  in
+  let fd = connect_with 0 in
     let module T = Tl_proc.Transport in
     (* transport loops: the request survives partial writes, the
        response read restarts on EINTR *)
@@ -628,7 +743,8 @@ let client_cmd =
     Term.(
       const client $ socket_arg $ cmd_arg $ format_arg $ problem_arg
       $ method_arg $ family_arg $ n_arg $ seed_arg $ a_arg $ delta_arg $ k_arg
-      $ engine_arg $ shards_arg $ pool_arg $ span_arg)
+      $ engine_arg $ shards_arg $ pool_arg $ span_arg $ retries_arg
+      $ faults_arg)
 
 (* ---------- main ---------- *)
 
@@ -641,4 +757,11 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ generate_cmd; solve_cmd; decompose_cmd; predict_cmd; client_cmd ]))
+          [
+            generate_cmd;
+            solve_cmd;
+            decompose_cmd;
+            predict_cmd;
+            chaos_cmd;
+            client_cmd;
+          ]))

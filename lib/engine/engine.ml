@@ -78,6 +78,17 @@ let trace_sink : (Trace.t -> unit) option ref = ref None
    metrics registry can coexist without chaining through each other. *)
 let metrics_sink : (Trace.t -> unit) option ref = ref None
 
+(* Fault-injection gate, owned by Tl_fault.Injector (above this library
+   in the DAG, like the sinks). Consulted once per committed round;
+   [false] interrupts the run at that round boundary — the stepper
+   returns the states as committed, [rounds] counting only the executed
+   rounds, and skips the max_rounds failure. Disarmed runs pay one ref
+   read per round and nothing per node. *)
+let fault_gate : (round:int -> bool) option ref = ref None
+
+let gate_open ~round =
+  match !fault_gate with None -> true | Some g -> g ~round
+
 type 'state outcome = { states : 'state array; rounds : int }
 
 type 'state step_fn =
@@ -255,7 +266,8 @@ let naive_run ~tr ~topo ~init ~step ~halted ~max_rounds =
     !ok
   in
   let rounds = ref 0 in
-  while (not (all_halted ())) && !rounds < max_rounds do
+  let interrupted = ref false in
+  while (not !interrupted) && (not (all_halted ())) && !rounds < max_rounds do
     let t0 = now () in
     incr rounds;
     let next = Array.copy states in
@@ -267,9 +279,10 @@ let naive_run ~tr ~topo ~init ~step ~halted ~max_rounds =
     done;
     Array.blit next 0 states 0 n;
     record tr ~round:!rounds ~active:topo.Topology.n_present ~changed:(-1)
-      ~unhalted:(-1) ~t0
+      ~unhalted:(-1) ~t0;
+    if not (gate_open ~round:!rounds) then interrupted := true
   done;
-  if not (all_halted ()) then
+  if (not !interrupted) && not (all_halted ()) then
     failwith (Printf.sprintf "Engine.run: max_rounds=%d exceeded" max_rounds);
   { states; rounds = !rounds }
 
@@ -280,7 +293,8 @@ let naive_run_until_stable ~tr ~topo ~init ~step ~equal ~max_rounds =
   let states = Array.init n (fun v -> init v) in
   let rounds = ref 0 in
   let stable = ref false in
-  while (not !stable) && !rounds < max_rounds do
+  let interrupted = ref false in
+  while (not !interrupted) && (not !stable) && !rounds < max_rounds do
     let t0 = now () in
     let next = Array.copy states in
     let changed = ref 0 in
@@ -298,11 +312,12 @@ let naive_run_until_stable ~tr ~topo ~init ~step ~equal ~max_rounds =
       ~changed:!changed ~unhalted:(-1) ~t0;
     if !changed > 0 then begin
       incr rounds;
-      Array.blit next 0 states 0 n
+      Array.blit next 0 states 0 n;
+      if not (gate_open ~round:!rounds) then interrupted := true
     end
     else stable := true
   done;
-  if not !stable then
+  if (not !interrupted) && not !stable then
     failwith
       (Printf.sprintf "Engine.run_until_stable: max_rounds=%d exceeded"
          max_rounds);
@@ -313,20 +328,26 @@ let naive_run_rounds ~tr ~topo ~init ~step ~rounds:total =
   let n = topo.Topology.n_base in
   let present = topo.Topology.present in
   let states = Array.init n (fun v -> init v) in
-  for r = 1 to total do
+  let executed = ref 0 in
+  let r = ref 1 in
+  let interrupted = ref false in
+  while (not !interrupted) && !r <= total do
     let t0 = now () in
     let next = Array.copy states in
     for v = 0 to n - 1 do
       if present.(v) then
         next.(v) <-
-          step ~round:r ~node:v states.(v)
+          step ~round:!r ~node:v states.(v)
             ~neighbors:(gather_neighbors sg states v)
     done;
     Array.blit next 0 states 0 n;
-    record tr ~round:r ~active:topo.Topology.n_present ~changed:(-1)
-      ~unhalted:(-1) ~t0
+    record tr ~round:!r ~active:topo.Topology.n_present ~changed:(-1)
+      ~unhalted:(-1) ~t0;
+    executed := !r;
+    if not (gate_open ~round:!r) then interrupted := true;
+    incr r
   done;
-  { states; rounds = total }
+  { states; rounds = (if !interrupted then !executed else total) }
 
 (* ---------- the engine stepper (Seq / Par) ---------- *)
 
@@ -494,7 +515,11 @@ let engine_run ~par ~sched ~equal ~tr ~topo ~init ~step ~halted ~max_rounds =
     topo.Topology.present_nodes;
   let rounds = ref 0 in
   let stalled = ref false in
-  while !n_unhalted > 0 && !rounds < max_rounds && not !stalled do
+  let interrupted = ref false in
+  while
+    !n_unhalted > 0 && !rounds < max_rounds && (not !stalled)
+    && not !interrupted
+  do
     if core.n_active = 0 then
       (* No node can ever change again (stationarity), so no node can
          ever halt: the naive stepper would spin to max_rounds and raise;
@@ -514,10 +539,11 @@ let engine_run ~par ~sched ~equal ~tr ~topo ~init ~step ~halted ~max_rounds =
             end)
       in
       record tr ~round:!rounds ~active:active_now ~changed
-        ~unhalted:!n_unhalted ~t0
+        ~unhalted:!n_unhalted ~t0;
+      if not (gate_open ~round:!rounds) then interrupted := true
     end
   done;
-  if !n_unhalted > 0 then
+  if (not !interrupted) && !n_unhalted > 0 then
     failwith (Printf.sprintf "Engine.run: max_rounds=%d exceeded" max_rounds);
   { states = core.cur; rounds = !rounds }
 
@@ -526,7 +552,8 @@ let engine_run_until_stable ~par ~sched ~equal ~tr ~topo ~init ~step
   let core = make_core ~topo ~sched ~equal ~init in
   let rounds = ref 0 in
   let stable = ref false in
-  while (not !stable) && !rounds < max_rounds do
+  let interrupted = ref false in
+  while (not !interrupted) && (not !stable) && !rounds < max_rounds do
     if core.n_active = 0 then stable := true
     else begin
       let t0 = now () in
@@ -535,10 +562,14 @@ let engine_run_until_stable ~par ~sched ~equal ~tr ~topo ~init ~step
       let changed = commit core ~on_change:ignore in
       record tr ~round:(!rounds + 1) ~active:active_now ~changed
         ~unhalted:(-1) ~t0;
-      if changed > 0 then incr rounds else stable := true
+      if changed > 0 then begin
+        incr rounds;
+        if not (gate_open ~round:!rounds) then interrupted := true
+      end
+      else stable := true
     end
   done;
-  if not !stable then
+  if (not !interrupted) && not !stable then
     failwith
       (Printf.sprintf "Engine.run_until_stable: max_rounds=%d exceeded"
          max_rounds);
@@ -546,18 +577,24 @@ let engine_run_until_stable ~par ~sched ~equal ~tr ~topo ~init ~step
 
 let engine_run_rounds ~par ~sched ~equal ~tr ~topo ~init ~step ~rounds:total =
   let core = make_core ~topo ~sched ~equal ~init in
-  for r = 1 to total do
+  let executed = ref 0 in
+  let r = ref 1 in
+  let interrupted = ref false in
+  while (not !interrupted) && !r <= total do
     (* an empty active set means the remaining scheduled rounds are
        no-ops (stationarity); skip the work but keep the round count *)
     if core.n_active > 0 then begin
       let t0 = now () in
       let active_now = core.n_active in
-      compute core step r par;
+      compute core step !r par;
       let changed = commit core ~on_change:ignore in
-      record tr ~round:r ~active:active_now ~changed ~unhalted:(-1) ~t0
-    end
+      record tr ~round:!r ~active:active_now ~changed ~unhalted:(-1) ~t0;
+      executed := !r;
+      if not (gate_open ~round:!r) then interrupted := true
+    end;
+    incr r
   done;
-  { states = core.cur; rounds = total }
+  { states = core.cur; rounds = (if !interrupted then !executed else total) }
 
 (* ---------- public API ---------- *)
 

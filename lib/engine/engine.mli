@@ -113,6 +113,28 @@ val metrics_sink : (Trace.t -> unit) option ref
     each finished trace. Independent of [trace_sink]: either, both or
     neither may be set. *)
 
+val fault_gate : (round:int -> bool) option ref
+(** Fault-injection round gate, owned by [Tl_fault.Injector] (above this
+    library in the DAG, like the sinks). When set, every in-process
+    stepper consults it once per {e committed} round — [g ~round:r]
+    fires after round [r]'s states are published. Returning [false]
+    interrupts the run at that round boundary: the stepper returns the
+    states exactly as committed, [rounds] counts only the executed
+    rounds, and the usual [max_rounds] [Failure] is suppressed (an
+    interrupted run is not a diverged run). The caller that armed the
+    gate is expected to know it fired (the injector records the trip)
+    and resume with a fresh run over the repaired topology. Disarmed
+    ([None], the default) the gate costs one ref read per round and
+    nothing per node — the same discipline as [Tl_obs.Metrics.enable].
+    The shard backend checks the gate in its own drivers; the proc
+    backend checks it between coordinator rounds. *)
+
+val gate_open : round:int -> bool
+(** [true] when no gate is armed or the armed gate allows continuing
+    past committed round [round]. Exported for the out-of-library
+    backends (shard, proc), whose drivers must consult the same gate as
+    the in-process steppers. *)
+
 type 'state outcome = { states : 'state array; rounds : int }
 
 type 'state step_fn =

@@ -1,0 +1,172 @@
+module Engine = Tl_engine.Engine
+module Shard = Tl_shard.Shard
+module Coordinator = Tl_proc.Coordinator
+
+type applied =
+  | Crashed of int
+  | Recovered of int
+  | Dropped of { src : int; dst : int; msgs : int }
+  | Killed of int
+
+let applied_to_string = function
+  | Crashed v -> Printf.sprintf "crash:%d" v
+  | Recovered v -> Printf.sprintf "recover:%d" v
+  | Dropped { src; dst; msgs } ->
+    Printf.sprintf "drop:%d-%d(%d msgs)" src dst msgs
+  | Killed r -> Printf.sprintf "kill:%d" r
+
+(* Drop entries aggregate in place while one round's exchange drains —
+   the cell is created on the first suppressed message of a
+   (round, src, dst) triple and its count bumped on the rest. *)
+type drop_cell = { d_round : int; d_src : int; d_dst : int; mutable d_msgs : int }
+
+type cell =
+  | C_crash of int * int
+  | C_recover of int * int
+  | C_drop of drop_cell
+  | C_kill of int * int
+
+type t = {
+  mutable base : int;
+  (* crash / recover events, round-sorted (stable); consumed by cursor *)
+  topo : (int * Schedule.event) array;
+  mutable cursor : int;
+  (* (round, src, dst) -> pending link cut; removed once logged *)
+  drops : (int * int * int, unit) Hashtbl.t;
+  fired_drops : (int * int * int, drop_cell) Hashtbl.t;
+  (* round -> ranks still to kill at that round *)
+  kills : (int, int list) Hashtbl.t;
+  mutable log_rev : cell list;
+  mutable active : bool;
+}
+
+let armed : t option ref = ref None
+
+let set_base t b = t.base <- b
+let base t = t.base
+
+let next_topo_round t =
+  if t.cursor < Array.length t.topo then Some (fst t.topo.(t.cursor))
+  else None
+
+let take_topo_due t ~round =
+  let out = ref [] in
+  let continue = ref true in
+  while !continue && t.cursor < Array.length t.topo do
+    let r, e = t.topo.(t.cursor) in
+    if r = round then begin
+      t.cursor <- t.cursor + 1;
+      (match e with
+      | Schedule.Crash v -> t.log_rev <- C_crash (r, v) :: t.log_rev
+      | Schedule.Recover v -> t.log_rev <- C_recover (r, v) :: t.log_rev
+      | Schedule.Drop _ | Schedule.Kill _ -> assert false);
+      out := e :: !out
+    end
+    else continue := false
+  done;
+  List.rev !out
+
+let log t =
+  List.rev_map
+    (function
+      | C_crash (r, v) -> (r, Crashed v)
+      | C_recover (r, v) -> (r, Recovered v)
+      | C_drop d -> (d.d_round, Dropped { src = d.d_src; dst = d.d_dst; msgs = d.d_msgs })
+      | C_kill (r, k) -> (r, Killed k))
+    t.log_rev
+
+let counts t =
+  List.fold_left
+    (fun (c, rv, d, k) cell ->
+      match cell with
+      | C_crash _ -> (c + 1, rv, d, k)
+      | C_recover _ -> (c, rv + 1, d, k)
+      | C_drop _ -> (c, rv, d + 1, k)
+      | C_kill _ -> (c, rv, d, k + 1))
+    (0, 0, 0, 0) t.log_rev
+
+let gate t ~round =
+  match next_topo_round t with
+  | None -> true
+  | Some r -> t.base + round < r
+
+let drop_hook t ~round ~src ~dst =
+  let abs = t.base + round in
+  let key = (abs, min src dst, max src dst) in
+  if Hashtbl.mem t.drops key then begin
+    (match Hashtbl.find_opt t.fired_drops key with
+    | Some cell -> cell.d_msgs <- cell.d_msgs + 1
+    | None ->
+      let _, a, b = key in
+      let cell = { d_round = abs; d_src = a; d_dst = b; d_msgs = 1 } in
+      Hashtbl.replace t.fired_drops key cell;
+      t.log_rev <- C_drop cell :: t.log_rev);
+    true
+  end
+  else false
+
+let kill_hook t ~round =
+  let abs = t.base + round in
+  match Hashtbl.find_opt t.kills abs with
+  | None -> []
+  | Some ranks ->
+    Hashtbl.remove t.kills abs;
+    List.iter (fun k -> t.log_rev <- C_kill (abs, k) :: t.log_rev) ranks;
+    ranks
+
+let disarm t =
+  if t.active then begin
+    t.active <- false;
+    armed := None;
+    Engine.fault_gate := None;
+    Shard.fault_drop_hook := None;
+    Coordinator.fault_kill_hook := None
+  end
+
+let arm sched ~n =
+  (match !armed with
+  | Some _ ->
+    invalid_arg "Injector.arm: another fault schedule is already armed"
+  | None -> ());
+  let events = Schedule.instantiate sched ~n in
+  let topo =
+    Array.of_list
+      (List.filter
+         (fun (_, e) ->
+           match e with
+           | Schedule.Crash _ | Schedule.Recover _ -> true
+           | Schedule.Drop _ | Schedule.Kill _ -> false)
+         events)
+  in
+  let drops = Hashtbl.create 16 in
+  let kills = Hashtbl.create 16 in
+  List.iter
+    (fun (r, e) ->
+      match e with
+      | Schedule.Drop (a, b) -> Hashtbl.replace drops (r, min a b, max a b) ()
+      | Schedule.Kill k ->
+        let cur = try Hashtbl.find kills r with Not_found -> [] in
+        Hashtbl.replace kills r (cur @ [ k ])
+      | Schedule.Crash _ | Schedule.Recover _ -> ())
+    events;
+  let t =
+    {
+      base = 0;
+      topo;
+      cursor = 0;
+      drops;
+      fired_drops = Hashtbl.create 16;
+      kills;
+      log_rev = [];
+      active = true;
+    }
+  in
+  armed := Some t;
+  Engine.fault_gate := Some (fun ~round -> gate t ~round);
+  Shard.fault_drop_hook := Some (fun ~round ~src ~dst -> drop_hook t ~round ~src ~dst);
+  Coordinator.fault_kill_hook := Some (fun ~round -> kill_hook t ~round);
+  t
+
+let with_armed sched ~n f =
+  let t = arm sched ~n in
+  Fun.protect ~finally:(fun () -> disarm t) (fun () -> f t)

@@ -131,6 +131,15 @@ let rank2_neighbors t v =
   done;
   !acc
 
+let iter_rank2_neighbors t v f =
+  if not t.node_in.(v) then
+    invalid_arg "Semi_graph.iter_rank2_neighbors: absent node";
+  let inc = Graph.incident t.base v in
+  let adj = Graph.neighbors t.base v in
+  for i = 0 to Array.length inc - 1 do
+    if t.edge_in.(inc.(i)) && t.node_in.(adj.(i)) then f adj.(i) inc.(i)
+  done
+
 let underlying_components t =
   let n = Graph.n_nodes t.base in
   let comp = Array.make n (-1) in

@@ -92,6 +92,12 @@ val rank2_neighbors : t -> int -> (int * int) list
     the communication links available in the LOCAL model (Definition 5
     restricts messages to rank-2 edges). *)
 
+val iter_rank2_neighbors : t -> int -> (int -> int -> unit) -> unit
+(** [iter_rank2_neighbors t v f] calls [f neighbor edge] for each present
+    rank-2 edge at present node [v] — same pairs as {!rank2_neighbors},
+    without materialising the list (the repair BFS walks millions of
+    nodes; a list per visit is the dominant cost). *)
+
 (** {1 Underlying-graph structure} *)
 
 val underlying_components : t -> int list array

@@ -68,6 +68,30 @@ let select_read ?(timeout = -1.) fds =
   | r, _, _ -> r
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
 
+(* Per-wait receive timeout (the keepalive half of contact tracking): a
+   hung worker — stuck step function, deadlocked exchange — surfaces as
+   a clear [Proc_failure "timeout ..."] instead of blocking the
+   coordinator forever. Configured by TL_PROC_TIMEOUT_MS (milliseconds,
+   > 0); unset, non-numeric or non-positive values keep the legacy
+   block-forever behavior. The deadline is re-derived per frame wait and
+   enforced across select wakeups, so EINTR's empty ready set (which
+   [select_read] returns) never counts as a timeout by itself. *)
+let timeout_s () =
+  match Sys.getenv_opt "TL_PROC_TIMEOUT_MS" with
+  | None -> None
+  | Some s -> (
+    match float_of_string_opt s with
+    | Some ms when ms > 0. && Float.is_finite ms -> Some (ms /. 1000.)
+    | _ -> None)
+
+(* Fault-injection worker-kill hook, owned by Tl_fault.Injector.
+   Consulted at the top of every [step ~round] while armed: the listed
+   ranks are SIGKILLed before the round's decision is broadcast, so the
+   round can never complete and the crash surfaces through the normal
+   worker-death path ([Proc_failure "... killed by signal 9 ..."]).
+   Disarmed ([None], the default) a step pays one ref match. *)
+let fault_kill_hook : (round:int -> int list) option ref = ref None
+
 (* Fork the workers. Every socketpair is created before the first fork,
    so each child inherits the full set and closes what is not its own:
    the coordinator ends, the other workers' direct ends, and both ends
@@ -310,10 +334,26 @@ let with_cluster ~procs ~topo ~entry ~sched ~slots ~body ~drive =
   (* Wait for one frame satisfying [accept], watching every worker
      channel so a crash anywhere (error frame or EOF) surfaces instead
      of hanging the run. *)
+  let recv_timeout = timeout_s () in
   let await ~accept ~what =
+    let deadline =
+      match recv_timeout with None -> None | Some t -> Some (now () +. t)
+    in
     let result = ref None in
     while !result = None do
-      let ready = select_read (Array.to_list cfd) in
+      let tmo =
+        match deadline with
+        | None -> -1.
+        | Some d ->
+          let left = d -. now () in
+          if left <= 0. then
+            Wire.fail
+              "timeout after %.0f ms awaiting %s (TL_PROC_TIMEOUT_MS)"
+              (Option.get recv_timeout *. 1000.)
+              what
+          else left
+      in
+      let ready = select_read ~timeout:tmo (Array.to_list cfd) in
       List.iter
         (fun fd ->
           if !result = None then begin
@@ -346,6 +386,15 @@ let with_cluster ~procs ~topo ~entry ~sched ~slots ~body ~drive =
     Transport.send_frame cfd.(0) img (Bytes.length img)
   in
   let step ~round =
+    (match !fault_kill_hook with
+    | None -> ()
+    | Some kills ->
+      List.iter
+        (fun rank ->
+          if rank >= 0 && rank < size && not reaped.(rank) then
+            try Unix.kill pids.(rank) Sys.sigkill
+            with Unix.Unix_error _ -> ())
+        (kills ~round));
     send_decision ~action:Wire.a_step ~round;
     await_stats ~round
   in
@@ -355,6 +404,9 @@ let with_cluster ~procs ~topo ~entry ~sched ~slots ~body ~drive =
       ~round:0;
     let states = Array.make size None in
     let n_got = ref 0 in
+    let deadline =
+      match recv_timeout with None -> None | Some t -> Some (now () +. t)
+    in
     while !n_got < size do
       let pend =
         Array.to_list
@@ -364,7 +416,18 @@ let with_cluster ~procs ~topo ~entry ~sched ~slots ~body ~drive =
                   if have_epi.(rank) then None else Some cfd.(rank))
                 (Seq.init size Fun.id)))
       in
-      let ready = select_read pend in
+      let tmo =
+        match deadline with
+        | None -> -1.
+        | Some d ->
+          let left = d -. now () in
+          if left <= 0. then
+            Wire.fail
+              "timeout after %.0f ms awaiting epilogue (TL_PROC_TIMEOUT_MS)"
+              (Option.get recv_timeout *. 1000.)
+          else left
+      in
+      let ready = select_read ~timeout:tmo pend in
       List.iter
         (fun fd ->
           let rank = rank_of_fd fd in
@@ -439,7 +502,11 @@ let drive_halted ~tr ~max_rounds ops =
   let unhalted = ref ops.stats0.s_unhalted in
   let rounds = ref 0 in
   let stalled = ref false in
-  while !unhalted > 0 && !rounds < max_rounds && not !stalled do
+  let interrupted = ref false in
+  while
+    !unhalted > 0 && !rounds < max_rounds && (not !stalled)
+    && not !interrupted
+  do
     if !active = 0 then stalled := true
     else begin
       let t0 = now () in
@@ -448,10 +515,11 @@ let drive_halted ~tr ~max_rounds ops =
       record tr ~round:!rounds ~active:!active ~changed:s.s_changed
         ~unhalted:s.s_unhalted ~t0;
       active := s.s_active;
-      unhalted := s.s_unhalted
+      unhalted := s.s_unhalted;
+      if not (Engine.gate_open ~round:!rounds) then interrupted := true
     end
   done;
-  if !unhalted > 0 then begin
+  if (not !interrupted) && !unhalted > 0 then begin
     ignore (ops.stop ~ship:false);
     failwith (Printf.sprintf "Engine.run: max_rounds=%d exceeded" max_rounds)
   end;
@@ -461,18 +529,23 @@ let drive_stable ~tr ~max_rounds ops =
   let active = ref ops.stats0.s_active in
   let rounds = ref 0 in
   let stable = ref false in
-  while (not !stable) && !rounds < max_rounds do
+  let interrupted = ref false in
+  while (not !interrupted) && (not !stable) && !rounds < max_rounds do
     if !active = 0 then stable := true
     else begin
       let t0 = now () in
       let s = ops.step ~round:(!rounds + 1) in
       record tr ~round:(!rounds + 1) ~active:!active ~changed:s.s_changed
         ~unhalted:(-1) ~t0;
-      if s.s_changed > 0 then incr rounds else stable := true;
+      if s.s_changed > 0 then begin
+        incr rounds;
+        if not (Engine.gate_open ~round:!rounds) then interrupted := true
+      end
+      else stable := true;
       active := s.s_active
     end
   done;
-  if not !stable then begin
+  if (not !interrupted) && not !stable then begin
     ignore (ops.stop ~ship:false);
     failwith
       (Printf.sprintf "Engine.run_until_stable: max_rounds=%d exceeded"
@@ -482,16 +555,22 @@ let drive_stable ~tr ~max_rounds ops =
 
 let drive_fixed ~tr ~total ops =
   let active = ref ops.stats0.s_active in
-  for r = 1 to total do
+  let executed = ref 0 in
+  let r = ref 1 in
+  let interrupted = ref false in
+  while (not !interrupted) && !r <= total do
     if !active > 0 then begin
       let t0 = now () in
-      let s = ops.step ~round:r in
-      record tr ~round:r ~active:!active ~changed:s.s_changed ~unhalted:(-1)
+      let s = ops.step ~round:!r in
+      record tr ~round:!r ~active:!active ~changed:s.s_changed ~unhalted:(-1)
         ~t0;
-      active := s.s_active
-    end
+      active := s.s_active;
+      executed := !r;
+      if not (Engine.gate_open ~round:!r) then interrupted := true
+    end;
+    incr r
   done;
-  (ops.stop ~ship:true, total)
+  (ops.stop ~ship:true, if !interrupted then !executed else total)
 
 (* ---------- boxed entry points (the Engine.Proc hook) ---------- *)
 

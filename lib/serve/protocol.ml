@@ -44,6 +44,7 @@ type request = {
   shards : int;
   pool : int;
   want_span : bool;
+  faults : string option;
 }
 
 let default_spec =
@@ -51,8 +52,8 @@ let default_spec =
 
 let request ?(id = "") ?(problem = "mis") ?(method_ = "transform")
     ?(spec = default_spec) ?k ?(engine = "seq") ?(shards = 4) ?(pool = 1)
-    ?(want_span = true) () =
-  { id; problem; method_; spec; k; engine; shards; pool; want_span }
+    ?(want_span = true) ?faults () =
+  { id; problem; method_; spec; k; engine; shards; pool; want_span; faults }
 
 type control = Ping | Stats | Shutdown | Metrics | Tail
 
@@ -137,6 +138,7 @@ let incoming_of_json j =
                  shards = int_of "shards" ~default:4 j;
                  pool = int_of "pool" ~default:1 j;
                  want_span = bool_of "span" ~default:true j;
+                 faults = Option.bind (Json.member "faults" j) Json.to_str;
                })))
   | _ -> Error "a request must be a JSON object"
 
@@ -179,7 +181,11 @@ let request_to_json r =
     @ (match r.k with
       | None -> []
       | Some k -> [ ("k", Json.Num (float_of_int k)) ])
-    @ [ ("span", Json.Bool r.want_span) ])
+    @ [ ("span", Json.Bool r.want_span) ]
+    @
+    match r.faults with
+    | None -> []
+    | Some f -> [ ("faults", Json.Str f) ])
 
 let control_to_json ?(id = "") c =
   Json.Obj

@@ -77,6 +77,11 @@ type request = {
   shards : int;
   pool : int;
   want_span : bool;
+  faults : string option;
+      (** fault-schedule spec ({!Tl_fault.Schedule.of_arg} grammar,
+          without the file-path form — the daemon never opens
+          client-named paths); only honored by [chaos]-method
+          requests. *)
 }
 
 val default_spec : graph_spec
@@ -85,9 +90,10 @@ val default_spec : graph_spec
 
 val request : ?id:string -> ?problem:string -> ?method_:string ->
   ?spec:graph_spec -> ?k:int -> ?engine:string -> ?shards:int ->
-  ?pool:int -> ?want_span:bool -> unit -> request
+  ?pool:int -> ?want_span:bool -> ?faults:string -> unit -> request
 (** Request with the same defaults as the CLI's [solve]
-    ([mis]/[transform]/[seq], shards 4, pool 1, span included). *)
+    ([mis]/[transform]/[seq], shards 4, pool 1, span included, no
+    faults). *)
 
 type control = Ping | Stats | Shutdown | Metrics | Tail
 

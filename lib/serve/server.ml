@@ -173,12 +173,23 @@ let instance t spec =
 
 let known_problems =
   [
-    ("flood", [ "transform"; "direct"; "baseline" ]);
-    ("mis", [ "transform"; "direct" ]);
+    ("flood", [ "transform"; "direct"; "baseline"; "chaos" ]);
+    ("mis", [ "transform"; "direct"; "chaos" ]);
     ("coloring", [ "transform"; "direct" ]);
     ("matching", [ "transform"; "direct"; "baseline" ]);
     ("edge-coloring", [ "transform"; "direct"; "baseline" ]);
   ]
+
+(* The daemon accepts the inline fault-spec forms only (compact grammar
+   or inline JSON) — never a client-named file path. *)
+let parse_faults = function
+  | None -> Ok Tl_fault.Schedule.empty
+  | Some s ->
+    if String.length s > 0 && s.[0] = '{' then (
+      match Json.parse s with
+      | j -> Tl_fault.Schedule.of_json j
+      | exception Json.Parse_error msg -> Error ("faults: " ^ msg))
+    else Tl_fault.Schedule.of_spec s
 
 let validate t (r : P.request) =
   let n = P.spec_n r.spec in
@@ -187,13 +198,19 @@ let validate t (r : P.request) =
   | Some methods when not (List.mem r.method_ methods) ->
     Error
       (Printf.sprintf "problem %S has no method %S" r.problem r.method_)
-  | Some _ ->
+  | Some _ -> (
     if n > t.cfg.max_n then
       Error
         (Printf.sprintf "instance size %d exceeds the admission limit %d" n
            t.cfg.max_n)
     else
-      P.resolve_knobs ~engine:r.engine ~shards:r.shards ~pool:r.pool ~n
+      match
+        if r.method_ = "chaos" then Result.map ignore (parse_faults r.faults)
+        else Ok ()
+      with
+      | Error msg -> Error msg
+      | Ok () ->
+        P.resolve_knobs ~engine:r.engine ~shards:r.shards ~pool:r.pool ~n)
 
 (* ---------- execution ---------- *)
 
@@ -279,11 +296,43 @@ let flood inst =
     p_valid = true;
   }
 
+(* A chaos run builds its own presence-masked views over the instance
+   graph (crashes shrink them in place), so it must never touch the
+   cached [inst.sg] — warm non-chaos requests keep their snapshot. *)
+let chaos (r : P.request) inst =
+  let schedule =
+    match parse_faults r.faults with
+    | Ok s -> s
+    | Error msg -> failwith msg
+  in
+  let problem =
+    match r.problem with
+    | "flood" -> Tl_fault.Chaos.Flood { source = 0 }
+    | _ -> Tl_fault.Chaos.Mis { ids = inst.ids }
+  in
+  let rep = Tl_fault.Chaos.run ~graph:inst.graph ~problem ~schedule () in
+  Span.add_counter "fault:crashes" rep.Tl_fault.Chaos.crashes;
+  Span.add_counter "fault:recoveries" rep.Tl_fault.Chaos.recoveries;
+  Span.add_counter "fault:drops" rep.Tl_fault.Chaos.drops;
+  Span.add_counter "fault:repairs" rep.Tl_fault.Chaos.repairs;
+  Span.add_counter "fault:relabeled" rep.Tl_fault.Chaos.relabeled;
+  {
+    p_digest = Printf.sprintf "%016Lx" rep.Tl_fault.Chaos.digest;
+    p_rounds = rep.Tl_fault.Chaos.rounds;
+    p_ledger =
+      [
+        ("chaos", rep.Tl_fault.Chaos.rounds);
+        ("repair", rep.Tl_fault.Chaos.repairs);
+      ];
+    p_valid = rep.Tl_fault.Chaos.valid;
+  }
+
 let dispatch (r : P.request) inst =
   let g = inst.graph and ids = inst.ids in
   let a = match r.spec with P.Family { a; _ } -> a | P.Edges _ -> 1 in
   let k = r.k in
   match (r.problem, r.method_) with
+  | ("flood" | "mis"), "chaos" -> chaos r inst
   | "flood", _ -> flood inst
   | "mis", "transform" ->
     must_tree "mis" g;

@@ -144,35 +144,71 @@ let commit c ~equal ~sched ~on_change =
   done;
   !changed
 
+(* Fault-injection link hook, owned by Tl_fault.Injector (above this
+   library in the DAG). Consulted per halo message only while armed —
+   [drop ~round ~src ~dst] returning [true] suppresses the delivery of
+   one (src shard -> dst shard) boundary update that round: the target's
+   ghost slot keeps its stale value and its pending set is not grown.
+   Because exchange routes fire only on change, a dropped message is
+   {e lost} (the owner re-sends only on its next change) — exactly the
+   failure the repair layer exists to heal. Disarmed ([None], default)
+   the exchange runs the original unchecked loop. *)
+let fault_drop_hook : (round:int -> src:int -> dst:int -> bool) option ref =
+  ref None
+
 (* Batched boundary exchange, ascending shard order: drain each shard's
    out buffer into the target shards' ghost slots, growing their pending
    sets through the halo rows. Ghost slots are only written here —
    between the barrier and the next compute phase — so the compute phase
    always reads a consistent frontier. *)
-let exchange ctxs ~sched =
-  for s = 0 to Array.length ctxs - 1 do
-    let c = ctxs.(s) in
-    let n = c.n_out in
-    if n > 0 then begin
-      c.halo_words <- c.halo_words + n;
-      c.exchange_rounds <- c.exchange_rounds + 1;
-      for b = 0 to n - 1 do
-        let ct = Array.unsafe_get ctxs (Array.unsafe_get c.out_dst b) in
-        let slot = Array.unsafe_get c.out_slot b in
-        Array.unsafe_set ct.st slot
-          (Array.unsafe_get c.st (Array.unsafe_get c.out_src b));
-        match sched with
-        | Engine.Full_scan -> ()
-        | Engine.Active_set ->
-          let tsh = ct.sh in
-          let h = slot - tsh.Plan.n_owned in
-          for j = tsh.Plan.halo_off.(h) to tsh.Plan.halo_off.(h + 1) - 1 do
-            mark ct (Array.unsafe_get tsh.Plan.halo_adj j)
-          done
-      done;
-      c.n_out <- 0
-    end
-  done
+let deliver ctxs c ~sched b =
+  let ct = Array.unsafe_get ctxs (Array.unsafe_get c.out_dst b) in
+  let slot = Array.unsafe_get c.out_slot b in
+  Array.unsafe_set ct.st slot
+    (Array.unsafe_get c.st (Array.unsafe_get c.out_src b));
+  match sched with
+  | Engine.Full_scan -> ()
+  | Engine.Active_set ->
+    let tsh = ct.sh in
+    let h = slot - tsh.Plan.n_owned in
+    for j = tsh.Plan.halo_off.(h) to tsh.Plan.halo_off.(h + 1) - 1 do
+      mark ct (Array.unsafe_get tsh.Plan.halo_adj j)
+    done
+
+let exchange ctxs ~sched ~round =
+  match !fault_drop_hook with
+  | None ->
+    for s = 0 to Array.length ctxs - 1 do
+      let c = ctxs.(s) in
+      let n = c.n_out in
+      if n > 0 then begin
+        c.halo_words <- c.halo_words + n;
+        c.exchange_rounds <- c.exchange_rounds + 1;
+        for b = 0 to n - 1 do
+          deliver ctxs c ~sched b
+        done;
+        c.n_out <- 0
+      end
+    done
+  | Some drop ->
+    for s = 0 to Array.length ctxs - 1 do
+      let c = ctxs.(s) in
+      let n = c.n_out in
+      if n > 0 then begin
+        c.exchange_rounds <- c.exchange_rounds + 1;
+        let delivered = ref 0 in
+        for b = 0 to n - 1 do
+          if not (drop ~round ~src:s ~dst:(Array.unsafe_get c.out_dst b))
+          then begin
+            incr delivered;
+            deliver ctxs c ~sched b
+          end
+        done;
+        (* halo_words counts messages actually delivered *)
+        c.halo_words <- c.halo_words + !delivered;
+        c.n_out <- 0
+      end
+    done
 
 (* Swap in the pending set (Active_set only). Mirrors the engine's
    dense-frontier rebuild: when the set is a constant fraction of the
@@ -225,12 +261,12 @@ let exec_round ctxs ~pool ~p_eff ~step ~round ~sched ~equal ~on_change
     ctxs;
   (if Metrics.enabled () then begin
      let tx = now () in
-     exchange ctxs ~sched;
+     exchange ctxs ~sched ~round;
      let dt = now () -. tx in
      exch_acc := !exch_acc +. dt;
      Metrics.observe (Lazy.force m_exchange_s) dt
    end
-   else exchange ctxs ~sched);
+   else exchange ctxs ~sched ~round);
   (match sched with
   | Engine.Full_scan -> ()
   | Engine.Active_set -> Array.iter advance ctxs);
@@ -345,7 +381,11 @@ let sb_run :
       emit_spans plan ctxs plan_hit;
       emit_metrics plan ctxs ~exch_s:!exch_acc)
     (fun () ->
-      while !n_unhalted > 0 && !rounds < max_rounds && not !stalled do
+      let interrupted = ref false in
+      while
+        !n_unhalted > 0 && !rounds < max_rounds && (not !stalled)
+        && not !interrupted
+      do
         let active_now = total_active ctxs in
         if active_now = 0 then stalled := true
         else begin
@@ -362,10 +402,11 @@ let sb_run :
                 end)
           in
           record tr ~round:!rounds ~active:active_now ~changed
-            ~unhalted:!n_unhalted ~t0
+            ~unhalted:!n_unhalted ~t0;
+          if not (Engine.gate_open ~round:!rounds) then interrupted := true
         end
       done;
-      if !n_unhalted > 0 then
+      if (not !interrupted) && !n_unhalted > 0 then
         failwith
           (Printf.sprintf "Engine.run: max_rounds=%d exceeded" max_rounds);
       writeback ctxs states;
@@ -394,7 +435,8 @@ let sb_run_until_stable :
       emit_spans plan ctxs plan_hit;
       emit_metrics plan ctxs ~exch_s:!exch_acc)
     (fun () ->
-      while (not !stable) && !rounds < max_rounds do
+      let interrupted = ref false in
+      while (not !interrupted) && (not !stable) && !rounds < max_rounds do
         let active_now = total_active ctxs in
         if active_now = 0 then stable := true
         else begin
@@ -406,10 +448,14 @@ let sb_run_until_stable :
           in
           record tr ~round:(!rounds + 1) ~active:active_now ~changed
             ~unhalted:(-1) ~t0;
-          if changed > 0 then incr rounds else stable := true
+          if changed > 0 then begin
+            incr rounds;
+            if not (Engine.gate_open ~round:!rounds) then interrupted := true
+          end
+          else stable := true
         end
       done;
-      if not !stable then
+      if (not !interrupted) && not !stable then
         failwith
           (Printf.sprintf "Engine.run_until_stable: max_rounds=%d exceeded"
              max_rounds);
@@ -437,20 +483,26 @@ let sb_run_rounds :
       emit_spans plan ctxs plan_hit;
       emit_metrics plan ctxs ~exch_s:!exch_acc)
     (fun () ->
-      for r = 1 to total do
+      let executed = ref 0 in
+      let r = ref 1 in
+      let interrupted = ref false in
+      while (not !interrupted) && !r <= total do
         let active_now = total_active ctxs in
         if active_now > 0 then begin
           let t0 = now () in
           let changed =
-            exec_round ctxs ~pool ~p_eff ~step ~round:r ~sched ~equal
+            exec_round ctxs ~pool ~p_eff ~step ~round:!r ~sched ~equal
               ~exch_acc
               ~on_change:(fun _ _ -> ())
           in
-          record tr ~round:r ~active:active_now ~changed ~unhalted:(-1) ~t0
-        end
+          record tr ~round:!r ~active:active_now ~changed ~unhalted:(-1) ~t0;
+          executed := !r;
+          if not (Engine.gate_open ~round:!r) then interrupted := true
+        end;
+        incr r
       done;
       writeback ctxs states;
-      { Engine.states; rounds = total })
+      { Engine.states; rounds = (if !interrupted then !executed else total) })
 
 let () =
   Engine.shard_backend :=

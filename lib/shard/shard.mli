@@ -58,6 +58,21 @@ val register : unit -> unit
     reference anything in this module) from code that wants [Shard] mode
     available without depending on [Tl_local.Runtime]. *)
 
+val fault_drop_hook : (round:int -> src:int -> dst:int -> bool) option ref
+(** Fault-injection link hook, owned by [Tl_fault.Injector]. While
+    armed, the boundary exchange asks it once per halo message —
+    [drop ~round ~src ~dst] returning [true] suppresses the delivery of
+    one (src shard → dst shard) ghost update in committed round [round]
+    (stale ghost value kept, pending set not grown). Exchange routes
+    fire only on change, so a dropped message is lost until the owner
+    next changes — the repair layer's job to heal. Disarmed ([None],
+    the default) the exchange runs the original unchecked drain loop;
+    the hook costs one ref match per round. [halo_words] counts only
+    delivered messages. The shard drivers also consult
+    {!Tl_engine.Engine.gate_open} per committed round, so an armed
+    fault gate interrupts shard runs at round boundaries exactly like
+    the in-process steppers. *)
+
 val run :
   ?shards:int ->
   ?pool:int ->
